@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs its experiment exactly once inside
+``benchmark.pedantic`` (the experiments are deterministic simulations;
+wall-clock repetition adds nothing) and then prints the reproduced
+table next to the paper's values.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` once under the benchmark timer; returns its result."""
+
+    def runner(fn):
+        box = {}
+
+        def wrapped():
+            box["result"] = fn()
+
+        benchmark.pedantic(wrapped, rounds=1, iterations=1)
+        return box["result"]
+
+    return runner

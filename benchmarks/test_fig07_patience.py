@@ -1,0 +1,43 @@
+"""Figure 7: patience threshold versus hoard priority."""
+
+from repro.bench import patience as bench
+
+
+def test_fig07_patience_model(once):
+    model, points = once(bench.run_patience_analysis)
+    bench.curve_table(model).show()
+
+    KB, MB = bench.KB, bench.MB
+    classified = {(p.priority, p.size): p.below for p in points}
+
+    # Calibration check from the paper: "60 seconds at a bandwidth of
+    # 64 Kb/s yields a maximum file size of 480KB".
+    assert abs(60.0 * 64_000 / 8.0 - 480_000) < 1e-6
+
+    # "At 9.6 Kb/s, only the files at priority 900 and the 1KB file at
+    # priority 500 are below tau."
+    modem = 9_600.0
+    assert classified[(900, 1 * MB)][modem]
+    assert classified[(900, 8 * MB)][modem]
+    assert classified[(500, 1 * KB)][modem]
+    assert not classified[(500, 1 * MB)][modem]
+    assert not classified[(100, 1 * MB)][modem]
+
+    # "At 64 Kb/s, the 1MB file at priority 500 is also below tau."
+    isdn = 64_000.0
+    assert classified[(500, 1 * MB)][isdn]
+    assert not classified[(100, 1 * MB)][isdn]
+
+    # "At 2Mb/s, all files except the 4MB and 8MB files at priority
+    # 100 are below tau."
+    wavelan = 2_000_000.0
+    for point in points:
+        expected = not (point.priority == 100
+                        and point.size in (4 * MB, 8 * MB))
+        assert point.below[wavelan] == expected, point
+
+    # Section 4.4's example: a 1 MB miss takes a few seconds at
+    # 10 Mb/s but nearly 20 minutes at 9.6 Kb/s.
+    times = bench.miss_service_times()
+    assert times["10 Mb/s"] < 5.0
+    assert 12 * 60 < times["9.6 Kb/s"] < 20 * 60

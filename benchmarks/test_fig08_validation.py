@@ -1,0 +1,32 @@
+"""Figure 8: cache validation time under ideal conditions."""
+
+from repro.bench import validation
+
+
+def test_fig08_validation(once):
+    results = once(validation.run_validation_comparison)
+    validation.format_table(results).show()
+
+    by = {(r.user, r.network): r for r in results}
+    users = sorted({r.user for r in results})
+
+    # "For all users, and at all bandwidths, volume callbacks reduce
+    # cache validation time."
+    for row in results:
+        assert row.volume_seconds < row.object_seconds, row
+
+    for user in users:
+        ethernet = by[(user, "Ethernet")]
+        modem = by[(user, "Modem")]
+
+        # "The reduction is modest at high bandwidths, but becomes
+        # substantial as bandwidth decreases."
+        assert modem.speedup > 2.0 * ethernet.speedup
+
+        # "At 9.6 Kb/s ... [volume validation] typically taking only
+        # about 25% longer than at 10 Mb/s."  Allow up to 60%.
+        assert modem.volume_seconds < 1.6 * ethernet.volume_seconds
+
+        # Without volume callbacks, modem validation is dramatically
+        # slower than Ethernet validation.
+        assert modem.object_seconds > 2.0 * ethernet.object_seconds

@@ -1,0 +1,26 @@
+"""Figure 10: distribution of trace-segment compressibility."""
+
+from repro.bench import compressibility
+
+
+def test_fig10_compressibility(once):
+    result = once(compressibility.run_compressibility_study)
+    compressibility.format_table(result).show()
+
+    # Enough qualifying segments (final CML >= 1 MB) for a histogram.
+    assert result.segments_kept >= 25
+
+    # "the compressibilities of roughly a third of the segments are
+    # below 20%" — accept a quarter to a half.
+    assert 0.2 <= result.fraction_below_20 <= 0.5
+
+    # "...while those of the remaining two-thirds range from 40% to
+    # 100%": the upper mode exists and is substantial.
+    high = sum(1 for c in result.compressibilities if c >= 0.4)
+    assert high >= 0.4 * result.segments_kept
+
+    # The distribution is bimodal-ish: the middle bin (20-40%) is
+    # sparser than either side.
+    counts = result.histogram()
+    assert counts[1] <= counts[0]
+    assert counts[1] <= sum(counts[2:])

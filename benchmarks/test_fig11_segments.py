@@ -1,0 +1,26 @@
+"""Figure 11: characteristics of the four trace replay segments."""
+
+from repro.bench import segments
+
+
+def test_fig11_segments(once):
+    results = once(segments.run_segment_characterization)
+    segments.format_table(results).show()
+
+    by = {r.name: r for r in results}
+    for name, (refs, updates, unopt_kb, opt_kb, compr) \
+            in segments.PAPER_VALUES.items():
+        row = by[name]
+        # References and updates within 10% of the published counts.
+        assert abs(row.references - refs) / refs < 0.10, name
+        assert abs(row.updates - updates) / updates < 0.10, name
+        # CML volumes within 20%.
+        assert abs(row.unopt_kb - unopt_kb) / unopt_kb < 0.20, name
+        assert abs(row.opt_kb - opt_kb) / opt_kb < 0.20, name
+        # Compressibility within 8 percentage points.
+        assert abs(row.compressibility - compr) < 0.08, name
+
+    # The segments span the four compressibility quartiles in order.
+    order = [by[n].compressibility
+             for n in ("purcell", "holst", "messiaen", "concord")]
+    assert order == sorted(order)

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""A miniature Figure 9: a fleet of clients observed for a few days.
+
+Runs the same fleet simulation as the Figure 9 benchmark, but small
+enough to finish in seconds, and prints the per-client volume
+validation statistics the paper's deployed Coda clients recorded.
+
+Run:  python examples/fleet_study.py
+"""
+
+from repro.bench.fleet import FleetConfig, format_tables, run_fleet_study
+
+
+def main():
+    config = FleetConfig(desktops=5, laptops=4, days=4.0)
+    desktops, laptops = run_fleet_study(config)
+    for table in format_tables(desktops, laptops):
+        print(table.render())
+        print()
+    everyone = desktops + laptops
+    mean_success = sum(r.success_pct for r in everyone) / len(everyone)
+    print("Across the fleet: %.1f%% of volume validations succeeded;"
+          % mean_success)
+    print("each success spared a batch of per-object validation RPCs —")
+    print("the reason reconnecting at modem speed feels instant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "Exploiting Weak Connectivity for Mobile File Access".
+
+Mummert, Ebling & Satyanarayanan, SOSP 1995: the Coda File System's
+adaptive mechanisms for intermittent, low-bandwidth networks — rapid
+cache validation with volume callbacks, trickle reintegration with log
+optimizations and adaptive chunking, and patience-gated cache miss
+handling — rebuilt in Python on a deterministic discrete-event
+substrate, together with the servers, transport protocols, traces, and
+benchmarks needed to regenerate every table and figure in the paper's
+evaluation.
+
+Start with :mod:`repro.venus` (the client), :mod:`repro.server` (the
+file server), and :mod:`repro.bench` (the experiments); or run
+``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("Exploiting Weak Connectivity for Mobile File Access, "
+             "SOSP 1995")

@@ -1,0 +1,28 @@
+"""The experiment harness.
+
+One module per reproduced table/figure, each exposing a ``run_*``
+function that returns structured results plus a formatter that prints
+rows shaped like the paper's.  The benchmark suite under
+``benchmarks/`` is a thin pytest layer over these functions; they can
+also be driven directly::
+
+    python -m repro.bench.replay --quick
+"""
+
+from repro.bench.common import (
+    Testbed,
+    make_testbed,
+    populate_volume,
+    warm_cache,
+)
+from repro.bench.results import Table, fmt_bytes, fmt_kbps
+
+__all__ = [
+    "Table",
+    "Testbed",
+    "fmt_bytes",
+    "fmt_kbps",
+    "make_testbed",
+    "populate_volume",
+    "warm_cache",
+]

@@ -1,0 +1,136 @@
+"""Shared experiment scaffolding: testbeds, population, cache warming.
+
+The standard testbed mirrors the paper's: a DECpc 425SL laptop client
+and a DECstation 5000/200 server "isolated on a separate network",
+joined by one link of the profile under test.
+"""
+
+from dataclasses import dataclass
+
+from repro.fs.content import SyntheticContent
+from repro.fs.namespace import split_path
+from repro.fs.objects import ObjectType, Vnode
+from repro.net import Network
+from repro.net.host import LAPTOP_1995, SERVER_1995
+from repro.server import CodaServer
+from repro.sim import RandomStreams, Simulator
+from repro.venus import Venus
+from repro.venus.cache import CacheEntry
+
+CLIENT = "laptop"
+SERVER = "server"
+
+
+@dataclass
+class Testbed:
+    sim: object
+    net: object
+    link: object
+    server: object
+    venus: object
+
+    def run(self, generator):
+        """Run a generator as a process to completion; returns its value."""
+        return self.sim.run(self.sim.process(generator))
+
+
+def make_testbed(profile, venus_config=None, user=None, seed=0,
+                 loss_rate=None, client_host=LAPTOP_1995,
+                 server_host=SERVER_1995):
+    """One client, one server, one link of the given profile."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    net = Network(sim, rng=streams.stream("net"))
+    overrides = {}
+    if loss_rate is not None:
+        overrides["loss_rate"] = loss_rate
+    link = net.add_link(CLIENT, SERVER, profile=profile, **overrides)
+    server = CodaServer(sim, net, SERVER, server_host)
+    venus = Venus(sim, net, CLIENT, SERVER, client_host,
+                  config=venus_config, user=user)
+    return Testbed(sim=sim, net=net, link=link, server=server, venus=venus)
+
+
+def populate_volume(server, mount_prefix, tree, volume_name=None):
+    """Create a volume and fill it with ``tree`` server-side.
+
+    ``tree`` maps absolute paths (under ``mount_prefix``) to
+    ``("dir", 0)`` or ``("file", size)``.  Intermediate directories are
+    created as needed.  Returns the volume.
+    """
+    volume = server.create_volume(volume_name or mount_prefix.strip("/"),
+                                  mount_prefix)
+    prefix_parts = split_path(mount_prefix)
+
+    def ensure(parts, kind, size):
+        node = volume.root
+        for depth, name in enumerate(parts):
+            child_fid = node.children.get(name)
+            last = depth == len(parts) - 1
+            if child_fid is None:
+                otype = (ObjectType.FILE if last and kind == "file"
+                         else ObjectType.DIRECTORY)
+                child = Vnode(volume.alloc_fid(), otype)
+                if otype is ObjectType.FILE:
+                    child.content = SyntheticContent(
+                        size, tag=("init", "/".join(parts)))
+                volume.add(child)
+                node.children[name] = child.fid
+                node = child
+            else:
+                node = volume.require(child_fid)
+        return node
+
+    for path in sorted(tree):
+        kind, size = tree[path]
+        parts = split_path(path)
+        if parts[:len(prefix_parts)] == prefix_parts:
+            parts = parts[len(prefix_parts):]
+        if not parts:
+            continue
+        ensure(parts, kind, size)
+    return volume
+
+
+def warm_cache(venus, server, volume, with_stamps=True):
+    """Install the volume's contents in the client cache.
+
+    Models a hoard walk completed while strongly connected before the
+    experiment begins (the paper warms state before measuring): every
+    object is cached with data and a callback, and — when
+    ``with_stamps`` — the volume version stamp is cached with a volume
+    callback, as at the end of a real walk.
+    """
+    now = venus.sim.now
+    # Recover each object's path for display/hoard logic.
+    prefix = "/" + "/".join(server.registry.mount_of(volume))
+    paths = {volume.root_fid: prefix}
+    pending = [volume.root]
+    while pending:
+        node = pending.pop()
+        if node.children:
+            for name, child_fid in node.children.items():
+                paths[child_fid] = paths[node.fid] + "/" + name
+                child = volume.get(child_fid)
+                if child is not None and child.is_dir():
+                    pending.append(child)
+    for fid, vnode in volume.vnodes.items():
+        entry = CacheEntry(fid, vnode.otype, path=paths.get(fid))
+        entry.version = vnode.version
+        entry.length = vnode.length
+        entry.mtime = vnode.mtime
+        if vnode.otype is ObjectType.DIRECTORY:
+            entry.children = dict(vnode.children)
+        elif vnode.otype is ObjectType.SYMLINK:
+            entry.target = vnode.target
+        else:
+            entry.content = vnode.content
+        entry.callback = True
+        venus.cache.add(entry, now)
+        server.callbacks.add_object(venus.node, fid)
+    venus.learn_mounts(server.registry)
+    info = venus.cache.volume_info(volume.volid)
+    if with_stamps:
+        info.stamp = volume.stamp
+        info.callback = True
+        server.callbacks.add_volume(venus.node, volume.volid)

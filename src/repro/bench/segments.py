@@ -1,0 +1,73 @@
+"""Figure 11: characteristics of the trace replay segments.
+
+The four 45-minute segments chosen from the compressibility quartiles,
+with the paper's published values for comparison::
+
+    Segment   Refs     Updates  Unopt KB  Opt KB  Compressibility
+    Purcell    51681     519      2864     2625       8%
+    Holst      61019     596      3402     2302      32%
+    Messiaen   38342     188      6996     2184      69%
+    Concord   160397    1273     34704     2247      94%
+"""
+
+from dataclasses import dataclass
+
+from repro.bench.results import Table
+from repro.trace.segments import segment_by_name
+from repro.trace.simulator import CmlSimulator
+
+#: The paper's Figure 11 rows: refs, updates, unopt KB, opt KB, compr.
+PAPER_VALUES = {
+    "purcell": (51_681, 519, 2_864, 2_625, 0.08),
+    "holst": (61_019, 596, 3_402, 2_302, 0.32),
+    "messiaen": (38_342, 188, 6_996, 2_184, 0.69),
+    "concord": (160_397, 1_273, 34_704, 2_247, 0.94),
+}
+
+SEGMENT_ORDER = ("purcell", "holst", "messiaen", "concord")
+
+
+@dataclass
+class SegmentCharacteristics:
+    name: str
+    references: int
+    updates: int
+    unopt_kb: float
+    opt_kb: float
+    compressibility: float
+
+
+def run_segment_characterization(names=SEGMENT_ORDER):
+    """Characterize each segment; returns a list in paper order."""
+    results = []
+    for name in names:
+        segment = segment_by_name(name)
+        report = CmlSimulator(aging_window=float("inf")).run(segment)
+        results.append(SegmentCharacteristics(
+            name=name,
+            references=report.references,
+            updates=report.updates,
+            unopt_kb=report.appended_bytes / 1024.0,
+            opt_kb=report.optimized_cml_bytes / 1024.0,
+            compressibility=report.compressibility))
+    return results
+
+
+def format_table(results):
+    table = Table(
+        "Figure 11: Segments Used in Trace Replay Experiments "
+        "(measured vs paper)",
+        ["Segment", "References", "Updates", "Unopt CML (KB)",
+         "Opt CML (KB)", "Compressibility"])
+    for row in results:
+        paper = PAPER_VALUES.get(row.name)
+        table.add(row.name.capitalize(),
+                  "%d" % row.references,
+                  "%d" % row.updates,
+                  "%.0f" % row.unopt_kb,
+                  "%.0f" % row.opt_kb,
+                  "%.0f%%" % (row.compressibility * 100))
+        if paper:
+            table.add("  (paper)", paper[0], paper[1], paper[2], paper[3],
+                      "%.0f%%" % (paper[4] * 100))
+    return table

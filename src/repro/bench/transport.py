@@ -1,0 +1,117 @@
+"""Figure 1: SFTP vs TCP throughput over three networks.
+
+The paper times "the disk-to-disk transfer of a 1MB file between a
+DECpc 425SL laptop client and a DEC 5000/200 server on an isolated
+network", five trials each, over Ethernet (10 Mb/s), WaveLan (2 Mb/s)
+and a 9.6 Kb/s modem::
+
+    Protocol  Network   Receive (Kb/s)  Send (Kb/s)
+    TCP       Ethernet  1824 (64)       2400 (224)
+              WaveLan    568 (136)       760 (80)
+              Modem      6.8 (0.06)      6.4 (0.04)
+    SFTP      Ethernet  1952 (104)      2744 (96)
+              WaveLan   1152 (64)       1168 (48)
+              Modem      6.6 (0.02)      6.9 (0.02)
+
+SFTP transfers run as Fetch (receive) and Store (send) RPCs through
+the full RPC2/SFTP stack; TCP runs the simplified Reno sender.
+WaveLan is wireless and lossy — that loss is what collapses TCP's
+window while SFTP's selective retransmission shrugs it off.
+"""
+
+import statistics
+from dataclasses import dataclass
+
+from repro.bench.results import Table
+from repro.net import ETHERNET, MODEM, WAVELAN, Network
+from repro.net.host import LAPTOP_1995, SERVER_1995
+from repro.rpc2 import Rpc2Endpoint, tcp_transfer
+from repro.sim import RandomStreams, Simulator
+
+TRANSFER_BYTES = 1_000_000
+TRIALS = 5
+
+#: Loss rates used for the transport experiment; WaveLan radios of the
+#: era dropped a percent or two of packets even in good conditions.
+LOSS = {"Ethernet": 0.0, "WaveLan": 0.025, "Modem": 0.002}
+
+
+@dataclass
+class TransportResult:
+    protocol: str
+    network: str
+    receive_kbps: float
+    receive_sd: float
+    send_kbps: float
+    send_sd: float
+
+
+def _sftp_trial(profile, loss, direction, seed):
+    sim = Simulator()
+    net = Network(sim, rng=RandomStreams(seed).stream("net"))
+    net.add_link("laptop", "server", profile=profile, loss_rate=loss)
+    client = Rpc2Endpoint(sim, net, "laptop", 2432, LAPTOP_1995,
+                          default_bps=profile.bandwidth_bps)
+    server = Rpc2Endpoint(sim, net, "server", 2432, SERVER_1995,
+                          default_bps=profile.bandwidth_bps)
+    server.register("Fetch", lambda ctx, args: (None, args["n"]))
+    server.register("Store", lambda ctx, args: {"got": ctx.received_bytes})
+    conn = client.connect("server")
+
+    def transfer():
+        start = sim.now
+        if direction == "receive":
+            yield conn.call("Fetch", {"n": TRANSFER_BYTES})
+        else:
+            yield conn.call("Store", {}, send_size=TRANSFER_BYTES)
+        return sim.now - start
+
+    elapsed = sim.run(sim.process(transfer()))
+    return TRANSFER_BYTES * 8.0 / elapsed
+
+
+def _tcp_trial(profile, loss, direction, seed):
+    sim = Simulator()
+    net = Network(sim, rng=RandomStreams(seed).stream("net"))
+    net.add_link("laptop", "server", profile=profile, loss_rate=loss)
+    if direction == "send":
+        process = tcp_transfer(sim, net, "laptop", "server",
+                               TRANSFER_BYTES, LAPTOP_1995, SERVER_1995)
+    else:
+        process = tcp_transfer(sim, net, "server", "laptop",
+                               TRANSFER_BYTES, SERVER_1995, LAPTOP_1995)
+    elapsed = sim.run(process)
+    return TRANSFER_BYTES * 8.0 / elapsed
+
+
+def run_transport_comparison(trials=TRIALS):
+    """Run the Figure 1 grid; returns a list of TransportResult."""
+    results = []
+    for protocol, trial in (("TCP", _tcp_trial), ("SFTP", _sftp_trial)):
+        for profile in (ETHERNET, WAVELAN, MODEM):
+            loss = LOSS[profile.name]
+            rows = {}
+            for direction in ("receive", "send"):
+                speeds = [trial(profile, loss, direction, seed)
+                          for seed in range(trials)]
+                rows[direction] = (statistics.mean(speeds),
+                                   statistics.pstdev(speeds))
+            results.append(TransportResult(
+                protocol=protocol, network=profile.name,
+                receive_kbps=rows["receive"][0] / 1000,
+                receive_sd=rows["receive"][1] / 1000,
+                send_kbps=rows["send"][0] / 1000,
+                send_sd=rows["send"][1] / 1000))
+    return results
+
+
+def format_table(results):
+    table = Table(
+        "Figure 1: Transport Protocol Performance "
+        "(1 MB transfer, mean of %d trials, Kb/s)" % TRIALS,
+        ["Protocol", "Network", "Receive (Kb/s)", "Send (Kb/s)"])
+    for row in results:
+        table.add(row.protocol, row.network,
+                  "%.1f (%.2f)" % (row.receive_kbps, row.receive_sd),
+                  "%.1f (%.2f)" % (row.send_kbps, row.send_sd))
+    return table

@@ -1,0 +1,175 @@
+"""Command-line interface: run any reproduced experiment from a shell.
+
+::
+
+    python -m repro transport            # Figure 1
+    python -m repro aging                # Figure 4
+    python -m repro patience             # Figure 7
+    python -m repro validation           # Figure 8
+    python -m repro fleet --days 7       # Figure 9
+    python -m repro compressibility      # Figure 10
+    python -m repro segments             # Figure 11
+    python -m repro replay --segment purcell --aging 600 --think 1
+    python -m repro ablations            # the design-choice sweeps
+    python -m repro trace-export --segment holst --out holst.trace
+"""
+
+import argparse
+import sys
+
+
+def _cmd_transport(args):
+    from repro.bench import transport
+    rows = transport.run_transport_comparison(trials=args.trials)
+    transport.format_table(rows).show()
+
+
+def _cmd_aging(args):
+    from repro.bench import aging
+    results = aging.run_aging_analysis()
+    aging.format_table(results).show()
+
+
+def _cmd_patience(args):
+    from repro.bench import patience
+    patience.curve_table().show()
+    model, points = patience.run_patience_analysis()
+    for point in points:
+        below = ", ".join("%gKb/s" % (bw / 1000)
+                          for bw, ok in sorted(point.below.items()) if ok)
+        print("priority %4d, %8d bytes: transparent at [%s]"
+              % (point.priority, point.size, below))
+
+
+def _cmd_validation(args):
+    from repro.bench import validation
+    rows = validation.run_validation_comparison()
+    validation.format_table(rows).show()
+
+
+def _cmd_fleet(args):
+    from repro.bench import fleet
+    config = fleet.FleetConfig(days=args.days,
+                               desktops=args.desktops,
+                               laptops=args.laptops)
+    desktops, laptops = fleet.run_fleet_study(config)
+    for table in fleet.format_tables(desktops, laptops):
+        table.show()
+
+
+def _cmd_compressibility(args):
+    from repro.bench import compressibility
+    result = compressibility.run_compressibility_study(
+        population=args.population)
+    compressibility.format_table(result).show()
+
+
+def _cmd_segments(args):
+    from repro.bench import segments
+    segments.format_table(segments.run_segment_characterization()).show()
+
+
+def _cmd_replay(args):
+    from repro.bench import replay
+    from repro.net import profile_by_name
+    if args.network:
+        networks = (profile_by_name(args.network),)
+    else:
+        networks = replay.NETWORKS
+    cells = []
+    for network in networks:
+        cell = replay.run_replay_cell(args.segment, network,
+                                      args.aging, args.think)
+        cells.append(cell)
+        print("%-9s %-9s elapsed=%7.1fs  beginCML=%5.0fKB "
+              "endCML=%5.0fKB shipped=%5.0fKB optimized=%5.0fKB"
+              % (cell.segment, cell.network, cell.elapsed,
+                 cell.begin_cml_kb, cell.end_cml_kb, cell.shipped_kb,
+                 cell.optimized_kb))
+
+
+def _cmd_ablations(args):
+    from repro.bench import ablations
+    ablations.chunk_table(ablations.run_chunk_ablation()).show()
+    ablations.aging_replay_table(
+        ablations.run_aging_replay_ablation()).show()
+    ablations.logopt_table(ablations.run_logopt_ablation()).show()
+    ablations.false_sharing_table(
+        ablations.run_false_sharing_ablation()).show()
+    ablations.compression_table(
+        ablations.run_header_compression_ablation()).show()
+    ablations.cost_table(ablations.run_cost_ablation()).show()
+
+
+def _cmd_trace_export(args):
+    from repro.trace.io import save_trace
+    from repro.trace.segments import SEGMENT_SPECS, segment_by_name
+    if args.segment not in SEGMENT_SPECS:
+        raise SystemExit("unknown segment %r (have %s)"
+                         % (args.segment,
+                            ", ".join(sorted(SEGMENT_SPECS))))
+    segment = segment_by_name(args.segment)
+    save_trace(segment, args.out)
+    print("wrote %s: %d references, %d updates"
+          % (args.out, segment.references, segment.updates))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploiting Weak Connectivity for "
+                    "Mobile File Access' (SOSP 1995)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("transport", help="Figure 1: SFTP vs TCP")
+    p.add_argument("--trials", type=int, default=5)
+    p.set_defaults(fn=_cmd_transport)
+
+    sub.add_parser("aging", help="Figure 4: aging window"
+                   ).set_defaults(fn=_cmd_aging)
+    sub.add_parser("patience", help="Figure 7: patience model"
+                   ).set_defaults(fn=_cmd_patience)
+    sub.add_parser("validation", help="Figure 8: validation time"
+                   ).set_defaults(fn=_cmd_validation)
+
+    p = sub.add_parser("fleet", help="Figure 9: fleet statistics")
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--desktops", type=int, default=8)
+    p.add_argument("--laptops", type=int, default=6)
+    p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser("compressibility", help="Figure 10 histogram")
+    p.add_argument("--population", type=int, default=40)
+    p.set_defaults(fn=_cmd_compressibility)
+
+    sub.add_parser("segments", help="Figure 11: segment table"
+                   ).set_defaults(fn=_cmd_segments)
+
+    p = sub.add_parser("replay", help="Figures 12-14: trace replay")
+    p.add_argument("--segment", default="purcell")
+    p.add_argument("--network", default=None,
+                   help="ethernet|wavelan|isdn|modem (default: all)")
+    p.add_argument("--aging", type=float, default=600.0)
+    p.add_argument("--think", type=float, default=1.0)
+    p.set_defaults(fn=_cmd_replay)
+
+    sub.add_parser("ablations", help="design-choice sweeps"
+                   ).set_defaults(fn=_cmd_ablations)
+
+    p = sub.add_parser("trace-export", help="export a trace to a file")
+    p.add_argument("--segment", default="purcell")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_trace_export)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

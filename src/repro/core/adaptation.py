@@ -1,0 +1,67 @@
+"""Connectivity classification with hysteresis.
+
+Venus needs a discrete notion of connection strength to pick its state
+(Figure 2): STRONG puts it in hoarding, WEAK in write disconnected,
+NONE in emulating.  The classification is derived from the transport's
+shared bandwidth estimate; hysteresis prevents flapping between states
+when the estimate hovers near the threshold.
+"""
+
+import enum
+
+
+class ConnectionStrength(enum.Enum):
+    STRONG = "strong"
+    WEAK = "weak"
+    NONE = "none"
+
+
+class ConnectivityMonitor:
+    """Maps (reachability, bandwidth estimate) to a strength class.
+
+    ``strong_threshold_bps`` is the bandwidth above which a connection
+    counts as strong; the default of 500 Kb/s classifies the paper's
+    Ethernet and WaveLan (measured goodput >= 1 Mb/s on 1995 hosts) as
+    strong and ISDN/Modem as weak.  Hysteresis:
+    an established classification only changes when the estimate moves
+    at least ``hysteresis`` (fraction) past the threshold.
+    """
+
+    def __init__(self, strong_threshold_bps=500_000.0, hysteresis=0.2):
+        self.strong_threshold_bps = strong_threshold_bps
+        self.hysteresis = hysteresis
+        self._current = ConnectionStrength.NONE
+
+    @property
+    def current(self):
+        return self._current
+
+    def classify(self, reachable, bandwidth_bps):
+        """Update and return the strength classification.
+
+        ``bandwidth_bps`` may be None (no estimate yet): a reachable
+        peer with unknown bandwidth is conservatively treated as weak —
+        the write-disconnected state is safe at any speed, and the
+        estimate firms up with the first transfers.
+        """
+        if not reachable:
+            self._current = ConnectionStrength.NONE
+            return self._current
+        if bandwidth_bps is None:
+            if self._current is ConnectionStrength.NONE:
+                self._current = ConnectionStrength.WEAK
+            return self._current
+        up = self.strong_threshold_bps
+        down = self.strong_threshold_bps
+        if self._current is ConnectionStrength.STRONG:
+            down *= (1.0 - self.hysteresis)
+            self._current = (ConnectionStrength.STRONG
+                             if bandwidth_bps >= down
+                             else ConnectionStrength.WEAK)
+        else:
+            up *= (1.0 + self.hysteresis) \
+                if self._current is ConnectionStrength.WEAK else 1.0
+            self._current = (ConnectionStrength.STRONG
+                             if bandwidth_bps >= up
+                             else ConnectionStrength.WEAK)
+        return self._current

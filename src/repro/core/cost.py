@@ -1,0 +1,130 @@
+"""Cost-aware adaptation (the paper's stated future work).
+
+"Our work so far has assumed that performance is the only metric of
+cost.  In practice, many networks used in mobile computing cost real
+money.  We therefore plan to explore techniques by which Venus can
+electronically inquire about network cost, and base its adaptation on
+both cost and quality." (section 8)
+
+This module implements that plan:
+
+* a :class:`NetworkTariff` describes what a link costs — per megabyte
+  (cellular data), per connected minute (long-distance phone), or
+  nothing (the office LAN);
+* a :class:`CostAwarePolicy` folds the tariff into Venus's decisions:
+
+  - *aging*: on per-byte tariffs the aging window stretches, giving
+    log optimizations more time to cancel records before they are
+    paid for;
+  - *miss handling*: a fetch must pass a *spending* threshold as well
+    as the time-patience threshold; like patience, willingness to pay
+    grows exponentially with hoard priority;
+  - *drain preference*: on per-minute tariffs the right strategy
+    reverses — ship everything quickly and hang up, so the policy
+    recommends immediate draining instead of trickling.
+
+* a :class:`CostLedger` accounts for what a session actually spent.
+"""
+
+import math
+from dataclasses import dataclass
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class NetworkTariff:
+    """What using a network costs, in abstract currency units."""
+
+    name: str
+    per_mb: float = 0.0        # per megabyte transferred
+    per_minute: float = 0.0    # per minute of connection time
+
+    @property
+    def is_free(self):
+        return self.per_mb == 0.0 and self.per_minute == 0.0
+
+    def cost_of(self, nbytes=0, connected_seconds=0.0):
+        """Total cost of moving ``nbytes`` over ``connected_seconds``."""
+        return (self.per_mb * nbytes / MB
+                + self.per_minute * connected_seconds / 60.0)
+
+
+#: Common 1995 tariffs (currency units are "dollars-ish").
+FREE = NetworkTariff("free")
+LONG_DISTANCE = NetworkTariff("long-distance-phone", per_minute=0.12)
+CELLULAR = NetworkTariff("cellular-data", per_mb=2.50)
+
+
+class CostAwarePolicy:
+    """Scales Venus's adaptive knobs by what the network costs.
+
+    ``spend(priority) = spend_alpha + spend_beta * e**(gamma*P)`` is
+    the analogue of the patience model: the most a user will pay to
+    fetch one object of hoard priority P.  The defaults tolerate about
+    a cent for an unhoarded object and a few dollars at priority 900.
+    """
+
+    def __init__(self, tariff=FREE, spend_alpha=0.01, spend_beta=0.002,
+                 gamma=0.01, aging_stretch_per_unit=2.0,
+                 max_aging_stretch=8.0):
+        self.tariff = tariff
+        self.spend_alpha = spend_alpha
+        self.spend_beta = spend_beta
+        self.gamma = gamma
+        self.aging_stretch_per_unit = aging_stretch_per_unit
+        self.max_aging_stretch = max_aging_stretch
+
+    # -- miss handling ---------------------------------------------------
+
+    def spend_threshold(self, priority):
+        """Most the user will pay to fetch one object of priority P."""
+        return self.spend_alpha + self.spend_beta * math.exp(
+            self.gamma * priority)
+
+    def fetch_cost(self, size_bytes):
+        """Money a fetch of ``size_bytes`` costs on this tariff."""
+        return self.tariff.cost_of(nbytes=size_bytes)
+
+    def approves_fetch(self, priority, size_bytes):
+        """True if fetching is affordable at this priority."""
+        return self.fetch_cost(size_bytes) <= self.spend_threshold(priority)
+
+    # -- update propagation -----------------------------------------------
+
+    def effective_aging_window(self, base_window):
+        """Stretch A on per-byte tariffs: every cancelled record is
+        money unspent."""
+        stretch = 1.0 + self.aging_stretch_per_unit * self.tariff.per_mb
+        return base_window * min(stretch, self.max_aging_stretch)
+
+    @property
+    def prefers_fast_drain(self):
+        """Per-minute tariffs reward finishing quickly and hanging up
+        (the 'terminate a long distance phone call' case of 4.3.2)."""
+        return self.tariff.per_minute > 0.0 and self.tariff.per_mb == 0.0
+
+
+class CostLedger:
+    """Accounts a session's actual network spending."""
+
+    def __init__(self, tariff=FREE):
+        self.tariff = tariff
+        self.bytes_transferred = 0
+        self.connected_seconds = 0.0
+
+    def add_bytes(self, nbytes):
+        self.bytes_transferred += nbytes
+
+    def add_connected_time(self, seconds):
+        self.connected_seconds += seconds
+
+    @property
+    def total_cost(self):
+        return self.tariff.cost_of(self.bytes_transferred,
+                                   self.connected_seconds)
+
+    def __repr__(self):
+        return "<CostLedger %.2f units (%d bytes, %.0f s)>" % (
+            self.total_cost, self.bytes_transferred,
+            self.connected_seconds)

@@ -1,0 +1,155 @@
+"""Rapid cache validation (section 4.2).
+
+On reconnection a client must validate every cached object.  With
+volume version stamps, one batched RPC validates whole volumes: "If a
+volume stamp is still valid, so is every object cached from that
+volume."  Stale or missing stamps fall back to batched per-object
+validation — no worse than the original scheme.
+
+The :class:`ValidationStats` counters mirror the instrumentation
+behind Figure 9: how often a stamp was missing, how many volume
+validations were attempted, how many succeeded, and how many
+per-object validations each success saved.
+"""
+
+from dataclasses import dataclass
+
+from repro.rpc2.packets import FID_VERSION_BYTES
+
+#: Per-object validation batch size (ViceValidateAttrs batching).
+VALIDATE_BATCH = 50
+
+
+@dataclass
+class ValidationStats:
+    """Counters matching the paper's Figure 9 columns."""
+
+    volume_opportunities: int = 0   # volumes needing validation
+    missing_stamp: int = 0          # ... for which no stamp was cached
+    attempts: int = 0               # volume validations attempted
+    successes: int = 0              # ... that were still valid
+    objects_saved: int = 0          # object validations skipped
+    objects_validated: int = 0      # per-object validations performed
+
+    @property
+    def missing_stamp_fraction(self):
+        if not self.volume_opportunities:
+            return 0.0
+        return self.missing_stamp / self.volume_opportunities
+
+    @property
+    def success_fraction(self):
+        if not self.attempts:
+            return 0.0
+        return self.successes / self.attempts
+
+    @property
+    def objects_per_success(self):
+        if not self.successes:
+            return 0.0
+        return self.objects_saved / self.successes
+
+
+class RapidValidator:
+    """Client-side validation engine used on reconnection and walks."""
+
+    def __init__(self, sim, cache, conn, use_volume_callbacks=True,
+                 batch_size=VALIDATE_BATCH, cpu=None,
+                 per_object_cpu=0.004):
+        self.sim = sim
+        self.cache = cache
+        self.conn = conn
+        self.use_volume_callbacks = use_volume_callbacks
+        self.batch_size = batch_size
+        self.cpu = cpu
+        # Client CPU spent walking each cached object's metadata during
+        # a validation pass (RVM lookups and status checks on 1995
+        # hardware).  This local work dominates validation time on fast
+        # networks, which is why volume callbacks make a 9.6 Kb/s
+        # validation "only about 25% longer than at 10 Mb/s".
+        self.per_object_cpu = per_object_cpu
+        self.stats = ValidationStats()
+
+    def _charge_cpu(self, n_objects):
+        cost = self.per_object_cpu * n_objects
+        if cost <= 0:
+            return
+        if self.cpu is not None:
+            yield from self.cpu.use(cost)
+        else:
+            yield self.sim.timeout(cost)
+
+    def validate_all(self):
+        """Process body: revalidate every cached object.
+
+        Returns the number of objects whose validity was individually
+        checked (i.e. not covered by a volume stamp).
+        """
+        by_volume = {}
+        for entry in self.cache.entries():
+            if entry.local:
+                continue
+            by_volume.setdefault(entry.fid.volume, []).append(entry)
+        yield from self._charge_cpu(sum(len(v) for v in by_volume.values()))
+
+        need_object_validation = []
+        if self.use_volume_callbacks:
+            stamps = {}
+            for volid, entries in by_volume.items():
+                self.stats.volume_opportunities += 1
+                info = self.cache.volume_info(volid)
+                if info.stamp is None:
+                    self.stats.missing_stamp += 1
+                    need_object_validation.extend(entries)
+                else:
+                    stamps[volid] = info.stamp
+            if stamps:
+                # All volume validations batched into a single RPC.
+                self.stats.attempts += len(stamps)
+                result = yield self.conn.call(
+                    "ValidateVolumes", {"stamps": stamps},
+                    args_size=8 + FID_VERSION_BYTES * len(stamps))
+                for volid, (valid, stamp) in result.result["results"].items():
+                    info = self.cache.volume_info(volid)
+                    if valid:
+                        self.stats.successes += 1
+                        self.stats.objects_saved += len(by_volume[volid])
+                        info.callback = True
+                        info.stamp = stamp
+                    else:
+                        info.drop()
+                        need_object_validation.extend(by_volume[volid])
+        else:
+            for entries in by_volume.values():
+                need_object_validation.extend(entries)
+
+        yield from self.validate_objects(need_object_validation)
+        return len(need_object_validation)
+
+    def validate_objects(self, entries):
+        """Process body: batched per-object validation of ``entries``."""
+        entries = [e for e in entries if not e.local and e.version is not None]
+        for start in range(0, len(entries), self.batch_size):
+            batch = entries[start:start + self.batch_size]
+            pairs = [(e.fid, e.version) for e in batch]
+            result = yield self.conn.call(
+                "ValidateAttrs", {"pairs": pairs},
+                args_size=8 + FID_VERSION_BYTES * len(pairs))
+            self.stats.objects_validated += len(batch)
+            outcomes = result.result["results"]
+            for entry in batch:
+                valid, status = outcomes.get(entry.fid, (False, None))
+                if valid:
+                    entry.callback = True
+                elif status is not None:
+                    # Stale: keep the fresh status, drop stale data.
+                    entry.apply_status(status)
+                    entry.content = None
+                    entry.children = None
+                    entry.target = None
+                    entry.callback = True
+                else:
+                    # Deleted on the server.
+                    if not entry.dirty:
+                        self.cache.remove(entry.fid)
+        return len(entries)

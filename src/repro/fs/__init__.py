@@ -1,0 +1,27 @@
+"""The shared file-system model: FIDs, vnodes, volumes, and contents.
+
+Both the Coda servers and Venus operate on these structures.  Files
+are grouped into *volumes*, each a partial subtree of the name space;
+every object and every volume carries a version stamp — the two
+granularities of cache coherence at the heart of the paper's rapid
+cache validation mechanism (section 4.2).
+"""
+
+from repro.fs.content import ByteContent, Content, SyntheticContent
+from repro.fs.fid import Fid
+from repro.fs.objects import ObjectType, Vnode, VnodeStatus
+from repro.fs.volume import Volume
+from repro.fs.namespace import VolumeRegistry, split_path
+
+__all__ = [
+    "ByteContent",
+    "Content",
+    "Fid",
+    "ObjectType",
+    "SyntheticContent",
+    "Vnode",
+    "VnodeStatus",
+    "Volume",
+    "VolumeRegistry",
+    "split_path",
+]

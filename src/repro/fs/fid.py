@@ -1,0 +1,21 @@
+"""File identifiers.
+
+A Coda FID names an object independently of its path:
+``(volume, vnode, uniquifier)``.  The uniquifier distinguishes
+successive objects that reuse a vnode slot, so a deleted-and-recreated
+file is never confused with its predecessor.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Fid:
+    """A globally unique, location-transparent object identifier."""
+
+    volume: int
+    vnode: int
+    uniq: int
+
+    def __str__(self):
+        return "%x.%x.%x" % (self.volume, self.vnode, self.uniq)

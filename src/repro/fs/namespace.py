@@ -1,0 +1,58 @@
+"""The exported name space: volumes mounted under ``/coda``.
+
+A :class:`VolumeRegistry` maps mount prefixes like ``/coda/usr/hqb``
+to volumes, mirroring Coda's location-transparent tree in which each
+volume "forms a partial subtree of the name space and typically
+contains the files of one user or project."
+"""
+
+
+def split_path(path):
+    """Normalize ``path`` into a component list ('/a//b/' -> ['a', 'b'])."""
+    return [part for part in path.split("/") if part]
+
+
+def join_path(components):
+    return "/" + "/".join(components)
+
+
+class VolumeRegistry:
+    """Mount table: path prefix -> volume."""
+
+    def __init__(self):
+        self._mounts = {}
+
+    def mount(self, prefix, volume):
+        key = tuple(split_path(prefix))
+        if key in self._mounts:
+            raise ValueError("mount point %r already in use" % (prefix,))
+        self._mounts[key] = volume
+
+    def volumes(self):
+        return list(self._mounts.values())
+
+    def mount_of(self, volume):
+        """The mount prefix components for ``volume``."""
+        for key, mounted in self._mounts.items():
+            if mounted is volume:
+                return key
+        raise KeyError(volume.name)
+
+    def resolve_prefix(self, path):
+        """Split ``path`` into (volume, remaining components).
+
+        The longest matching mount prefix wins.  Raises FileNotFoundError
+        when no mount covers the path.
+        """
+        parts = tuple(split_path(path))
+        for cut in range(len(parts), -1, -1):
+            volume = self._mounts.get(parts[:cut])
+            if volume is not None:
+                return volume, list(parts[cut:])
+        raise FileNotFoundError("no volume mounted for %r" % (path,))
+
+    def by_id(self, volid):
+        for volume in self._mounts.values():
+            if volume.volid == volid:
+                return volume
+        raise KeyError(volid)

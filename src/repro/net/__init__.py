@@ -1,0 +1,40 @@
+"""Simulated networks: links, datagram delivery, and named profiles.
+
+The model is deliberately simple but captures everything the paper's
+phenomena depend on: serialization delay (bytes over a finite
+bandwidth), propagation latency, FIFO contention between concurrent
+transfers on one link, random loss, and intermittence (links going up
+and down).  Bandwidth spans the paper's four orders of magnitude, from
+SLIP at 1.2 Kb/s to Ethernet at 10 Mb/s.
+"""
+
+from repro.net.link import Link, LinkDirection, LinkStats
+from repro.net.network import Network, Socket
+from repro.net.packet import Datagram
+from repro.net.profiles import (
+    ETHERNET,
+    ISDN,
+    MODEM,
+    PROFILES,
+    SLIP_1200,
+    WAVELAN,
+    NetworkProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "Datagram",
+    "ETHERNET",
+    "ISDN",
+    "Link",
+    "LinkDirection",
+    "LinkStats",
+    "MODEM",
+    "Network",
+    "NetworkProfile",
+    "PROFILES",
+    "SLIP_1200",
+    "Socket",
+    "WAVELAN",
+    "profile_by_name",
+]

@@ -1,0 +1,171 @@
+"""Point-to-point duplex links with bandwidth, latency, loss, and outages.
+
+Each direction of a link serializes packets FIFO at the direction's
+bandwidth: a packet cannot begin transmission until the previous one
+has left the wire.  This is what makes a background trickle
+reintegration *contend* with a foreground cache-miss fetch — the effect
+the paper's adaptive chunk sizing exists to bound.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LinkStats:
+    """Byte and packet accounting for one link direction."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    packets_dropped_down: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    def reset(self):
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        self.packets_dropped_down = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+
+
+class LinkDirection:
+    """One direction of a duplex link."""
+
+    def __init__(self, sim, bandwidth_bps, latency, loss_rate,
+                 bits_per_byte, rng, deliver, header_savings=0):
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency = float(latency)
+        self.loss_rate = float(loss_rate)
+        self.bits_per_byte = float(bits_per_byte)
+        # Van Jacobson style header compression on the serial line
+        # (section 4.1's "header compression as in TCP [9]"): each
+        # packet sheds this many header bytes on the wire.
+        self.header_savings = int(header_savings)
+        self._rng = rng
+        self._deliver = deliver
+        self._busy_until = 0.0
+        self.up = True
+        self.stats = LinkStats()
+
+    def transmission_time(self, size_bytes):
+        """Seconds to serialize ``size_bytes`` onto the wire."""
+        effective = max(1, size_bytes - self.header_savings)
+        return effective * self.bits_per_byte / self.bandwidth_bps
+
+    @property
+    def queue_delay(self):
+        """Seconds until the wire is free at the current instant."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def send(self, datagram):
+        """Enqueue ``datagram`` for transmission; returns nothing.
+
+        Packets sent while the direction is down are silently dropped,
+        as are randomly lost packets — receivers only ever see
+        successful deliveries, exactly like UDP.
+        """
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += datagram.size
+        if not self.up:
+            self.stats.packets_dropped_down += 1
+            return
+        start = max(self.sim.now, self._busy_until)
+        done = start + self.transmission_time(datagram.size)
+        self._busy_until = done
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.packets_lost += 1
+            return
+        arrival_delay = (done - self.sim.now) + self.latency
+        self.sim.process(self._delayed_delivery(arrival_delay, datagram))
+
+    def _delayed_delivery(self, delay, datagram):
+        yield self.sim.timeout(delay)
+        if not self.up:
+            # The link dropped while the packet was in flight.
+            self.stats.packets_dropped_down += 1
+            return
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += datagram.size
+        self._deliver(datagram)
+
+
+class Link:
+    """A duplex link between two named nodes.
+
+    Bandwidths may be asymmetric (``bandwidth_up`` is a→b).  ``up`` and
+    ``down`` model intermittence; packets in flight when the link drops
+    are lost.
+    """
+
+    def __init__(self, sim, node_a, node_b, bandwidth_bps,
+                 latency=0.001, loss_rate=0.0, bits_per_byte=8,
+                 bandwidth_up_bps=None, rng=None, deliver=None,
+                 header_savings=0):
+        if rng is None:
+            import random
+            rng = random.Random(0)
+        self.sim = sim
+        self.node_a = node_a
+        self.node_b = node_b
+        self.name = "%s<->%s" % (node_a, node_b)
+        deliver = deliver or (lambda datagram: None)
+        self.forward = LinkDirection(
+            sim, bandwidth_up_bps or bandwidth_bps, latency, loss_rate,
+            bits_per_byte, rng, deliver, header_savings=header_savings)
+        self.backward = LinkDirection(
+            sim, bandwidth_bps, latency, loss_rate,
+            bits_per_byte, rng, deliver, header_savings=header_savings)
+
+    @property
+    def up(self):
+        return self.forward.up and self.backward.up
+
+    def set_up(self, up):
+        """Bring both directions up or down."""
+        self.forward.up = up
+        self.backward.up = up
+
+    def set_loss_rate(self, loss_rate):
+        self.forward.loss_rate = loss_rate
+        self.backward.loss_rate = loss_rate
+
+    def set_bandwidth(self, bandwidth_bps, bandwidth_up_bps=None):
+        """Change link speed on the fly (e.g. roaming between networks)."""
+        self.forward.bandwidth_bps = float(bandwidth_up_bps or bandwidth_bps)
+        self.backward.bandwidth_bps = float(bandwidth_bps)
+
+    def direction(self, src):
+        """The direction used by packets leaving node ``src``."""
+        if src == self.node_a:
+            return self.forward
+        if src == self.node_b:
+            return self.backward
+        raise ValueError("node %r is not on link %s" % (src, self.name))
+
+    def send(self, datagram):
+        self.direction(datagram.src).send(datagram)
+
+    def outage(self, after, duration):
+        """Schedule an outage starting ``after`` seconds from now."""
+        self.sim.process(self._outage(after, duration), name="outage")
+
+    def _outage(self, after, duration):
+        yield self.sim.timeout(after)
+        self.set_up(False)
+        yield self.sim.timeout(duration)
+        self.set_up(True)
+
+    def stats(self):
+        """Aggregate stats over both directions."""
+        total = LinkStats()
+        for direction in (self.forward, self.backward):
+            total.packets_sent += direction.stats.packets_sent
+            total.packets_delivered += direction.stats.packets_delivered
+            total.packets_lost += direction.stats.packets_lost
+            total.packets_dropped_down += direction.stats.packets_dropped_down
+            total.bytes_sent += direction.stats.bytes_sent
+            total.bytes_delivered += direction.stats.bytes_delivered
+        return total

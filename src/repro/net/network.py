@@ -1,0 +1,97 @@
+"""Datagram routing between nodes and UDP-style sockets."""
+
+from repro.net.link import Link
+from repro.net.packet import Datagram
+from repro.sim.resources import Store
+
+
+class Socket:
+    """An unreliable datagram socket bound to ``(node, port)``."""
+
+    def __init__(self, network, node, port):
+        self.network = network
+        self.node = node
+        self.port = port
+        self._inbox = Store(network.sim)
+        self.closed = False
+
+    def send(self, dst, dst_port, payload, size):
+        """Send a datagram; fire-and-forget, may be lost or dropped."""
+        if self.closed:
+            raise RuntimeError("socket is closed")
+        datagram = Datagram(
+            src=self.node, src_port=self.port,
+            dst=dst, dst_port=dst_port,
+            payload=payload, size=size)
+        self.network.transmit(datagram)
+
+    def recv(self):
+        """Event that fires with the next datagram delivered here."""
+        return self._inbox.get()
+
+    def pending(self):
+        """Number of datagrams queued for recv."""
+        return len(self._inbox)
+
+    def close(self):
+        self.closed = True
+        self.network._unbind(self)
+
+    def _deliver(self, datagram):
+        if not self.closed:
+            self._inbox.put(datagram)
+
+
+class Network:
+    """A set of nodes joined by point-to-point links.
+
+    Topologies in this reproduction are client–server stars, so routing
+    is single-hop: a datagram travels over the direct link between its
+    source and destination node.  Datagrams to unreachable nodes are
+    dropped (like IP with no route).
+    """
+
+    def __init__(self, sim, rng=None):
+        self.sim = sim
+        self._rng = rng
+        self._links = {}
+        self._sockets = {}
+
+    def add_link(self, node_a, node_b, profile=None, **overrides):
+        """Create a link, optionally from a :class:`NetworkProfile`."""
+        parameters = {}
+        if profile is not None:
+            parameters.update(profile.link_kwargs())
+        parameters.update(overrides)
+        parameters.setdefault("rng", self._rng)
+        link = Link(self.sim, node_a, node_b,
+                    deliver=self._deliver, **parameters)
+        self._links[frozenset((node_a, node_b))] = link
+        return link
+
+    def link_between(self, node_a, node_b):
+        """The link joining two nodes, or None."""
+        return self._links.get(frozenset((node_a, node_b)))
+
+    def socket(self, node, port):
+        """Bind a datagram socket at ``(node, port)``."""
+        key = (node, port)
+        if key in self._sockets:
+            raise ValueError("port %d already bound on %s" % (port, node))
+        sock = Socket(self, node, port)
+        self._sockets[key] = sock
+        return sock
+
+    def transmit(self, datagram):
+        link = self.link_between(datagram.src, datagram.dst)
+        if link is None:
+            return  # no route: silently dropped
+        link.send(datagram)
+
+    def _deliver(self, datagram):
+        sock = self._sockets.get((datagram.dst, datagram.dst_port))
+        if sock is not None:
+            sock._deliver(datagram)
+
+    def _unbind(self, sock):
+        self._sockets.pop((sock.node, sock.port), None)

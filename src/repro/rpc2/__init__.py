@@ -1,0 +1,34 @@
+"""RPC2 and SFTP: Coda's transport protocols, plus a TCP baseline.
+
+This package reimplements the transport behaviour the paper describes
+in section 4.1:
+
+* RPC2 remote procedure calls with retransmission and BUSY quenching;
+* SFTP, the windowed streaming bulk-transfer protocol that carries
+  file contents as a side effect of Fetch/Store RPCs;
+* adaptive retransmission driven by round-trip-time estimation using
+  timestamp echoing (Jacobson), working from 1.2 Kb/s to 10 Mb/s;
+* shared keepalive state between RPC2, SFTP, and the client cache
+  manager, replacing the duplicated keepalive traffic of the original
+  layering;
+* a simplified TCP (slow start, AIMD, cumulative acks, fast
+  retransmit) used as the Figure 1 comparison baseline.
+"""
+
+from repro.rpc2.endpoint import Rpc2Endpoint, RemoteError
+from repro.rpc2.errors import ConnectionDead, TransferAborted
+from repro.rpc2.keepalive import LivenessRegistry
+from repro.rpc2.rtt import BandwidthEstimator, NetworkEstimator, RttEstimator
+from repro.rpc2.tcp import tcp_transfer
+
+__all__ = [
+    "BandwidthEstimator",
+    "ConnectionDead",
+    "LivenessRegistry",
+    "NetworkEstimator",
+    "RemoteError",
+    "Rpc2Endpoint",
+    "RttEstimator",
+    "TransferAborted",
+    "tcp_transfer",
+]

@@ -1,0 +1,442 @@
+"""The RPC2 endpoint: one socket, one host, both client and server roles.
+
+An endpoint owns a datagram socket and two pacing loops (send and
+receive) that charge the host's CPU costs for every packet — on 1995
+hardware this, not the Ethernet, is the fast-network bottleneck.
+Incoming packets are dispatched to: pending client calls (replies,
+busies, go-aheads), SFTP transfers (data and acks), the server
+dispatcher (requests), or the keepalive responder (pings).
+
+Everything that arrives also refreshes the shared
+:class:`~repro.rpc2.keepalive.LivenessRegistry` — the paper's fix for
+the duplicated keepalive traffic of the original layering.
+"""
+
+from itertools import count
+
+from repro.rpc2.errors import ConnectionDead, TransferAborted
+from repro.rpc2.keepalive import LivenessRegistry
+from repro.rpc2.packets import (
+    Busy,
+    Go,
+    Ping,
+    Pong,
+    Reply,
+    Request,
+    SftpAck,
+    SftpData,
+    SMALL_ARGS,
+)
+from repro.rpc2.rtt import NetworkEstimator
+from repro.rpc2.sftp import SftpReceiver, SftpSender
+from repro.sim.resources import Lock, Store
+
+#: Client retransmission policy.
+MAX_CALL_RETRIES = 7
+#: Patience granted after a BUSY before probing again.
+BUSY_PATIENCE = 15.0
+
+
+class RemoteError(Exception):
+    """The remote handler reported an application-level error."""
+
+
+class CallResult:
+    """Outcome of an RPC: the handler's result plus any fetched bytes."""
+
+    def __init__(self, result, bulk_bytes=0):
+        self.result = result
+        self.bulk_bytes = bulk_bytes
+
+
+class _CallContext:
+    """What a server-side handler can see about the call it is serving."""
+
+    def __init__(self, endpoint, peer, send_size):
+        self.endpoint = endpoint
+        self.peer = peer
+        self.send_size = send_size       # bytes the client is uploading
+        self.received_bytes = 0          # filled once the upload completes
+        self.sim = endpoint.sim
+
+
+class Rpc2Endpoint:
+    """An RPC2/SFTP protocol engine bound to ``(node, port)``."""
+
+    def __init__(self, sim, network, node, port, host,
+                 default_bps=9600.0, rng=None, cpu=None):
+        from repro.net.cpu import HostCpu
+        self.sim = sim
+        self.network = network
+        self.node = node
+        self.port = port
+        self.host = host
+        self.cpu = cpu or HostCpu(sim, host)
+        self.default_bps = default_bps
+        self.socket = network.socket(node, port)
+        self.liveness = LivenessRegistry(sim)
+        self._estimators = {}
+        self._handlers = {}
+        self._conn_ids = count(1)
+        self._calls = {}            # (peer, conn, seq) -> call state
+        self._server_conns = {}     # (peer, conn) -> per-connection state
+        self._sftp_senders = {}     # transfer_id -> SftpSender
+        self._sftp_receivers = {}   # transfer_id -> SftpReceiver
+        self._outbox = Store(sim)
+        self._ping_waiters = {}     # seq -> event
+        self._ping_seq = count(1)
+        self.packets_out = 0
+        self.bytes_out = 0
+        sim.process(self._send_loop(), name="%s-send" % node)
+        sim.process(self._recv_loop(), name="%s-recv" % node)
+
+    # ------------------------------------------------------------------
+    # Shared infrastructure
+
+    def estimator(self, peer):
+        """The per-peer network quality estimate (shared with Venus)."""
+        est = self._estimators.get(peer)
+        if est is None:
+            est = NetworkEstimator()
+            self._estimators[peer] = est
+        return est
+
+    def _send(self, peer, packet):
+        """Queue ``packet`` for paced transmission to ``peer``."""
+        self._outbox.put((peer, packet))
+
+    def _send_loop(self):
+        while True:
+            peer, packet = yield self._outbox.get()
+            size = packet.wire_size
+            yield from self.cpu.use(self.host.send_cost(size))
+            self.packets_out += 1
+            self.bytes_out += size
+            # Endpoints bind the same well-known port on every node.
+            self.socket.send(peer, self.port, packet, size)
+
+    def _recv_loop(self):
+        while True:
+            datagram = yield self.socket.recv()
+            yield from self.cpu.use(self.host.recv_cost(datagram.size))
+            self.liveness.heard_from(datagram.src)
+            self._dispatch(datagram.src, datagram.payload)
+
+    def _observe_echo(self, peer, packet):
+        echo = getattr(packet, "ts_echo", None)
+        if echo is not None:
+            ts, hold = echo
+            self.estimator(peer).observe_rtt(self.sim.now - ts - hold)
+
+    def _dispatch(self, peer, packet):
+        if isinstance(packet, SftpData):
+            tid = packet.transfer_id
+            receiver = self._sftp_receivers.get(tid)
+            if receiver is None and tid[3] == "fetch" and tid[0] == self.node:
+                # First data packet of an RPC fetch: create the receiver
+                # on demand, but only if the owning call is still live.
+                call_key = (peer, tid[1], tid[2])
+                if call_key in self._calls:
+                    receiver = SftpReceiver(self.sim, self, peer, tid)
+                    self._sftp_receivers[tid] = receiver
+            if receiver is not None:
+                receiver.on_data(packet)
+            call = self._calls.get((peer, tid[1], tid[2]))
+            if call is not None:
+                call["progress"] = self.sim.now
+            return
+        if isinstance(packet, SftpAck):
+            sender = self._sftp_senders.get(packet.transfer_id)
+            if sender is not None:
+                sender.inbox.put(packet)
+            return
+        if isinstance(packet, Request):
+            self._observe_echo(peer, packet)
+            self._on_request(peer, packet)
+            return
+        if isinstance(packet, (Reply, Busy, Go)):
+            self._observe_echo(peer, packet)
+            call = self._calls.get((peer, packet.conn, packet.seq))
+            if call is not None:
+                call["inbox"].put(packet)
+            return
+        if isinstance(packet, Ping):
+            # The pad travels one way only: a padded ping measures the
+            # forward path without paying the cost twice.
+            self._send(peer, Pong(conn=packet.conn, seq=packet.seq,
+                                  ts=self.sim.now,
+                                  ts_echo=(packet.ts, 0.0)))
+            return
+        if isinstance(packet, Pong):
+            self._observe_echo(peer, packet)
+            waiter = self._ping_waiters.pop(packet.seq, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(packet)
+            return
+
+    # ------------------------------------------------------------------
+    # Client role
+
+    def connect(self, peer):
+        """Open a logical connection to ``peer``'s endpoint."""
+        return Rpc2Connection(self, peer, next(self._conn_ids))
+
+    def ping(self, peer, pad=0, timeout=None):
+        """Process: round-trip a ping; returns RTT or raises ConnectionDead."""
+        return self.sim.process(self._ping(peer, pad, timeout),
+                                name="ping-%s" % peer)
+
+    def _ping(self, peer, pad, timeout):
+        estimator = self.estimator(peer)
+        if timeout is None:
+            if pad:
+                # A padded ping is a bandwidth probe: it must not time
+                # out just because the line is slow.  Budget for the
+                # slowest supported link (1.2 Kb/s SLIP, 10 bits/byte);
+                # plain pings already provide fast dead-peer detection.
+                timeout = pad * 10.0 / 1200.0 * 1.5 \
+                    + estimator.rtt.rto + 1.0
+            else:
+                timeout = max(estimator.rtt.rto,
+                              estimator.expected_transfer_time(
+                                  pad, default_bps=self.default_bps)
+                              * 2 + 1.0)
+        seq = next(self._ping_seq)
+        waiter = self.sim.event()
+        self._ping_waiters[seq] = waiter
+        started = self.sim.now
+        self._send(peer, Ping(conn=0, seq=seq, ts=started, pad=pad))
+        expiry = self.sim.timeout(timeout)
+        yield self.sim.any_of([waiter, expiry])
+        if not waiter.triggered:
+            self._ping_waiters.pop(seq, None)
+            raise ConnectionDead("ping to %s timed out" % peer)
+        rtt = self.sim.now - started
+        if pad:
+            estimator.observe_transfer(pad, rtt)
+        return rtt
+
+    # ------------------------------------------------------------------
+    # Server role
+
+    def register(self, procedure, handler):
+        """Expose ``handler(ctx, args)`` as RPC ``procedure``.
+
+        The handler may be a plain function or a generator (so it can
+        yield simulation events, e.g. disk delays).  It returns either
+        ``result`` or ``(result, reply_bulk_size)`` — a positive bulk
+        size triggers an SFTP transfer of that many bytes back to the
+        caller before the reply.
+        """
+        self._handlers[procedure] = handler
+
+    def _on_request(self, peer, request):
+        conn_key = (peer, request.conn)
+        state = self._server_conns.get(conn_key)
+        if state is None:
+            state = {"done_seq": 0, "reply": None, "active": None}
+            self._server_conns[conn_key] = state
+        if request.seq <= state["done_seq"]:
+            # Duplicate of a completed call: resend the cached reply.
+            if state["reply"] is not None and request.seq == state["done_seq"]:
+                self._send(peer, state["reply"])
+            return
+        if state["active"] == request.seq:
+            # Retransmission of the call in progress.
+            if request.send_size > 0 and not state.get("upload_started"):
+                self._send(peer, Go(conn=request.conn, seq=request.seq,
+                                    ts=self.sim.now))
+            else:
+                self._send(peer, Busy(conn=request.conn, seq=request.seq,
+                                      ts=self.sim.now))
+            return
+        state["active"] = request.seq
+        state["upload_started"] = False
+        self.sim.process(self._serve(peer, request, state),
+                         name="serve-%s-%s" % (request.proc, request.seq))
+
+    def _serve(self, peer, request, state):
+        ctx = _CallContext(self, peer, request.send_size)
+        error = None
+        result = None
+        bulk_size = 0
+        try:
+            if request.send_size > 0:
+                # Invite the upload and wait for it to land.
+                transfer_id = (peer, request.conn, request.seq, "store")
+                receiver = SftpReceiver(self.sim, self, peer, transfer_id)
+                self._sftp_receivers[transfer_id] = receiver
+                self._send(peer, Go(conn=request.conn, seq=request.seq,
+                                    ts=self.sim.now))
+                state["upload_started"] = True
+                try:
+                    ctx.received_bytes = yield receiver.done
+                finally:
+                    self._expire_transfer(transfer_id, receiver=True)
+            handler = self._handlers.get(request.proc)
+            if handler is None:
+                error = "no such procedure: %s" % request.proc
+            else:
+                outcome = handler(ctx, request.args)
+                if hasattr(outcome, "__next__"):
+                    outcome = yield self.sim.process(
+                        outcome, name="handler-%s" % request.proc)
+                if isinstance(outcome, tuple) and len(outcome) == 2:
+                    result, bulk_size = outcome
+                else:
+                    result = outcome
+            if not error and bulk_size:
+                transfer_id = (peer, request.conn, request.seq, "fetch")
+                sender = SftpSender(self.sim, self, peer, transfer_id,
+                                    bulk_size)
+                self._sftp_senders[transfer_id] = sender
+                try:
+                    yield self.sim.process(sender.run(),
+                                           name="sftp-send-reply")
+                finally:
+                    self._expire_transfer(transfer_id, receiver=False)
+        except TransferAborted:
+            # Bulk data never made it; drop the call. The client's own
+            # timeout machinery will declare the connection dead.
+            state["active"] = None
+            return
+        reply = Reply(conn=request.conn, seq=request.seq,
+                      ts=self.sim.now, result=result, error=error,
+                      result_size=getattr(result, "wire_size", SMALL_ARGS)
+                      if result is not None else SMALL_ARGS)
+        state["done_seq"] = request.seq
+        state["reply"] = reply
+        state["active"] = None
+        self._send(peer, reply)
+
+    def _expire_transfer(self, transfer_id, receiver, grace=300.0):
+        """Drop transfer state after a grace period for late duplicates."""
+        def expire():
+            yield self.sim.timeout(grace)
+            if receiver:
+                self._sftp_receivers.pop(transfer_id, None)
+            else:
+                self._sftp_senders.pop(transfer_id, None)
+        self.sim.process(expire(), name="sftp-expire")
+
+
+class Rpc2Connection:
+    """Client-side handle for calls to one peer.
+
+    Calls on one connection are *serialized*, as in real RPC2: a fetch
+    issued while a long reintegration RPC is outstanding waits for it.
+    This serialization is exactly why trickle reintegration bounds its
+    chunk transmission time (section 4.3.5) — an unbounded chunk would
+    make a concurrent high-priority call wait arbitrarily long.
+    """
+
+    def __init__(self, endpoint, peer, conn_id):
+        self.endpoint = endpoint
+        self.peer = peer
+        self.conn_id = conn_id
+        self._seq = count(1)
+        self._lock = Lock(endpoint.sim)
+
+    @property
+    def sim(self):
+        return self.endpoint.sim
+
+    def call(self, procedure, args=None, args_size=SMALL_ARGS,
+             send_size=0, max_retries=MAX_CALL_RETRIES):
+        """Start the RPC as a process; yield it to get a CallResult.
+
+        Raises :class:`ConnectionDead` if the server stops responding
+        and :class:`RemoteError` if the handler reports failure.
+        """
+        return self.sim.process(
+            self._serialized_call(procedure, args, args_size, send_size,
+                                  max_retries),
+            name="call-%s" % procedure)
+
+    def _serialized_call(self, procedure, args, args_size, send_size,
+                         max_retries):
+        yield self._lock.acquire()
+        try:
+            result = yield from self._call(procedure, args, args_size,
+                                           send_size, max_retries)
+            return result
+        finally:
+            self._lock.release()
+
+    def _call(self, procedure, args, args_size, send_size, max_retries):
+        sim = self.sim
+        endpoint = self.endpoint
+        seq = next(self._seq)
+        key = (self.peer, self.conn_id, seq)
+        inbox = Store(sim)
+        call_state = {"inbox": inbox, "progress": None}
+        endpoint._calls[key] = call_state
+        estimator = endpoint.estimator(self.peer)
+        request = Request(conn=self.conn_id, seq=seq, proc=procedure,
+                          args=args, args_size=args_size,
+                          send_size=send_size, ts=sim.now)
+        fetch_tid = (endpoint.node, self.conn_id, seq, "fetch")
+        store_tid = (endpoint.node, self.conn_id, seq, "store")
+        try:
+            attempts = 0
+            patience = (estimator.rtt.rto +
+                        estimator.expected_transfer_time(
+                            args_size, default_bps=endpoint.default_bps))
+            endpoint._send(self.peer, request)
+            pending = inbox.get()
+            upload_done = False
+            while True:
+                timeout = sim.timeout(patience)
+                yield sim.any_of([pending, timeout])
+                if pending.triggered:
+                    packet = pending.value
+                    pending = inbox.get()
+                    attempts = 0
+                    if isinstance(packet, Reply):
+                        if packet.error is not None:
+                            raise RemoteError(packet.error)
+                        receiver = endpoint._sftp_receivers.pop(
+                            fetch_tid, None)
+                        bulk = receiver.bytes_received if receiver else 0
+                        return CallResult(packet.result, bulk)
+                    if isinstance(packet, Busy):
+                        # The server is working; poll again after a few
+                        # RTTs rather than a long fixed wait, so a lost
+                        # Reply costs little.
+                        patience = min(BUSY_PATIENCE,
+                                       max(1.0, 4 * estimator.rtt.rto))
+                        continue
+                    if isinstance(packet, Go) and send_size and not upload_done:
+                        sender = SftpSender(sim, endpoint, self.peer,
+                                            store_tid, send_size)
+                        endpoint._sftp_senders[store_tid] = sender
+                        try:
+                            yield sim.process(sender.run(),
+                                              name="sftp-send-store")
+                        except TransferAborted as aborted:
+                            endpoint.liveness.mark_unreachable(self.peer)
+                            raise ConnectionDead(str(aborted))
+                        finally:
+                            endpoint._expire_transfer(store_tid,
+                                                      receiver=False)
+                        upload_done = True
+                        patience = min(BUSY_PATIENCE,
+                                       max(1.0, 4 * estimator.rtt.rto))
+                        continue
+                    continue
+                # Timed out without hearing anything for this call.
+                progress = call_state.get("progress")
+                if progress is not None and sim.now - progress < patience:
+                    # SFTP data is flowing; the server is alive.
+                    continue
+                attempts += 1
+                if attempts > max_retries:
+                    endpoint.liveness.mark_unreachable(self.peer)
+                    raise ConnectionDead(
+                        "call %s to %s timed out" % (procedure, self.peer))
+                request.ts = sim.now
+                endpoint._send(self.peer, request)
+                patience = min(60.0, estimator.rtt.rto * (2 ** attempts))
+        finally:
+            endpoint._calls.pop(key, None)
+            endpoint._sftp_receivers.pop(fetch_tid, None)

@@ -1,0 +1,13 @@
+"""Transport-level failures."""
+
+
+class ConnectionDead(Exception):
+    """The peer stopped responding; retransmissions were exhausted.
+
+    Venus reacts to this by treating the server as disconnected and
+    entering the emulating state.
+    """
+
+
+class TransferAborted(Exception):
+    """A bulk (SFTP) transfer could not be completed."""

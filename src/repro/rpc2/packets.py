@@ -1,0 +1,138 @@
+"""Wire formats for RPC2 and SFTP.
+
+Packets are plain Python objects; only their declared byte sizes touch
+the simulated wire.  Header sizes approximate the real protocols:
+28 bytes of UDP/IP, 32 bytes of RPC2 header, 32 bytes of SFTP header.
+Every packet carries a send timestamp and echoes the most recently
+received one, implementing the timestamp-echo RTT measurement the
+paper adopts from Jacobson.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+UDP_IP_HEADER = 28
+RPC2_HEADER = 32
+SFTP_HEADER = 32
+
+#: Default SFTP data payload per packet, bytes.
+SFTP_DATA_SIZE = 1024
+
+#: Default size modelled for RPC argument/result blocks, bytes.
+SMALL_ARGS = 64
+
+#: Size of a status (attribute) block, per the paper's section 4.4.1
+#: ("status information is only about 100 bytes long").
+STATUS_BLOCK = 100
+
+#: Modelled bytes for a (fid, version) pair in validation requests.
+FID_VERSION_BYTES = 16
+
+#: Well-known RPC2 port bound by every Coda endpoint in the simulation.
+CODA_PORT = 2432
+
+
+@dataclass
+class Rpc2Packet:
+    """Common base: connection id, call sequence, timestamp echo."""
+
+    conn: int
+    seq: int
+    ts: float = 0.0
+    ts_echo: Optional[float] = None
+
+
+@dataclass
+class Request(Rpc2Packet):
+    """A procedure call request."""
+
+    proc: str = ""
+    args: object = None
+    args_size: int = SMALL_ARGS
+    send_size: int = 0      # bytes the client wants to ship via SFTP
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER + self.args_size
+
+
+@dataclass
+class Busy(Rpc2Packet):
+    """Server is working on this call; quench client retransmission."""
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER
+
+
+@dataclass
+class Go(Rpc2Packet):
+    """Server invites the client to begin its SFTP upload."""
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER
+
+
+@dataclass
+class Reply(Rpc2Packet):
+    """Completion of a call, carrying its result."""
+
+    result: object = None
+    result_size: int = SMALL_ARGS
+    error: Optional[str] = None
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER + self.result_size
+
+
+@dataclass
+class Ping(Rpc2Packet):
+    """Keepalive / network probe; ``pad`` inflates size for BW probes."""
+
+    pad: int = 0
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER + self.pad
+
+
+@dataclass
+class Pong(Rpc2Packet):
+    pad: int = 0
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + RPC2_HEADER + self.pad
+
+
+@dataclass
+class SftpData:
+    """One SFTP data packet of a bulk transfer."""
+
+    transfer_id: tuple
+    seq: int
+    total: int            # total packets in this transfer
+    data_size: int
+    ts: float = 0.0
+
+    @property
+    def wire_size(self):
+        return UDP_IP_HEADER + SFTP_HEADER + self.data_size
+
+
+@dataclass
+class SftpAck:
+    """Selective acknowledgement of SFTP data packets."""
+
+    transfer_id: tuple
+    received: frozenset = field(default_factory=frozenset)
+    complete: bool = False
+    ts: float = 0.0
+    ts_echo: Optional[float] = None
+
+    @property
+    def wire_size(self):
+        # Real SFTP acks carry a fixed-size bitmask.
+        return UDP_IP_HEADER + SFTP_HEADER + 8

@@ -1,0 +1,267 @@
+"""Transactional replay of client modify logs.
+
+Reintegration is atomic: the chunk's records are first *all* validated
+against current server state, and only if every one passes are they
+applied.  "A failure leaves behind no server state that would hinder a
+future retry" (section 4.3.3).  A record that fails validation is a
+conflict; the server reports the conflicting sequence numbers and
+applies nothing.
+
+Conflict rules (optimistic replica control, after Kumar):
+
+* store/setattr: the server object's version must equal the record's
+  base version (write/write conflict otherwise), and the object must
+  still exist (update/remove conflict).
+* create/mkdir/symlink: the parent must exist and the name be free.
+* unlink: the object must exist and match the base version.
+* rmdir: the directory must exist and be empty.
+* rename: source must exist; destination name must be free.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.fs.objects import ObjectType, Vnode
+from repro.venus.cml import CmlOp
+
+
+class ConflictError(Exception):
+    """Raised internally when a record fails validation."""
+
+    def __init__(self, record, reason):
+        self.record = record
+        self.reason = reason
+        super().__init__("%s: %s" % (record, reason))
+
+
+@dataclass
+class ReintegrationOutcome:
+    """Result of one reintegration attempt."""
+
+    ok: bool
+    conflicts: list = field(default_factory=list)   # (seqno, reason)
+    new_versions: dict = field(default_factory=dict)  # fid -> version
+    volume_stamps: dict = field(default_factory=dict)  # volid -> stamp
+    applied: int = 0
+
+
+class Reintegrator:
+    """Validates and applies CML chunks against a volume registry."""
+
+    def __init__(self, registry):
+        self.registry = registry
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self, records):
+        """Return a list of (seqno, reason) conflicts (empty if clean).
+
+        Validation runs against a scratch copy of the affected state so
+        that intra-chunk dependencies (create then store) are honoured.
+        """
+        conflicts = []
+        shadow = _ShadowState(self.registry)
+        for record in records:
+            try:
+                self._check(shadow, record)
+                shadow.apply(record)
+            except ConflictError as conflict:
+                conflicts.append((record.seqno, conflict.reason))
+        return conflicts
+
+    def _check(self, shadow, record):
+        op = record.op
+        if op in (CmlOp.STORE, CmlOp.SETATTR):
+            vnode = shadow.get(record.fid)
+            if vnode is None:
+                raise ConflictError(record, "object was removed")
+            if (record.base_version is not None
+                    and shadow.base_version(record.fid, vnode)
+                    != record.base_version):
+                raise ConflictError(record, "update/update conflict")
+        elif op in (CmlOp.CREATE, CmlOp.MKDIR, CmlOp.SYMLINK):
+            parent = shadow.get(record.parent)
+            if parent is None or not parent.is_dir():
+                raise ConflictError(record, "parent directory missing")
+            if parent.lookup(record.name) is not None:
+                raise ConflictError(record, "name collision")
+        elif op is CmlOp.UNLINK:
+            parent = shadow.get(record.parent)
+            if parent is None or parent.lookup(record.name) != record.fid:
+                raise ConflictError(record, "object already removed")
+            vnode = shadow.get(record.fid)
+            if (vnode is not None and record.base_version is not None
+                    and shadow.base_version(record.fid, vnode)
+                    != record.base_version):
+                raise ConflictError(record, "update/remove conflict")
+        elif op is CmlOp.RMDIR:
+            vnode = shadow.get(record.fid)
+            if vnode is None:
+                raise ConflictError(record, "directory already removed")
+            if vnode.children:
+                raise ConflictError(record, "directory not empty")
+        elif op is CmlOp.RENAME:
+            parent = shadow.get(record.parent)
+            if parent is None or parent.lookup(record.name) != record.fid:
+                raise ConflictError(record, "rename source missing")
+            target_dir = shadow.get(record.to_parent)
+            if target_dir is None or not target_dir.is_dir():
+                raise ConflictError(record, "rename target dir missing")
+            if target_dir.lookup(record.to_name) is not None:
+                raise ConflictError(record, "rename target exists")
+        elif op is CmlOp.LINK:
+            parent = shadow.get(record.parent)
+            vnode = shadow.get(record.fid)
+            if parent is None or vnode is None:
+                raise ConflictError(record, "link endpoint missing")
+            if parent.lookup(record.name) is not None:
+                raise ConflictError(record, "name collision")
+
+    # -- application -----------------------------------------------------
+
+    def apply(self, records, mtime):
+        """Apply pre-validated records for real; returns outcome data."""
+        new_versions = {}
+        touched_volumes = set()
+        for record in records:
+            volume = self.registry.by_id(record.fid.volume)
+            self._apply_one(volume, record, mtime)
+            vnode = volume.get(record.fid)
+            if vnode is not None:
+                new_versions[record.fid] = vnode.version
+            touched_volumes.add(volume.volid)
+        stamps = {volid: self.registry.by_id(volid).stamp
+                  for volid in touched_volumes}
+        return new_versions, stamps
+
+    def _apply_one(self, volume, record, mtime):
+        op = record.op
+        if op is CmlOp.STORE:
+            vnode = volume.require(record.fid)
+            vnode.content = record.content
+            volume.bump(vnode, mtime)
+        elif op is CmlOp.SETATTR:
+            vnode = volume.require(record.fid)
+            volume.bump(vnode, mtime)
+        elif op in (CmlOp.CREATE, CmlOp.MKDIR, CmlOp.SYMLINK):
+            otype = {CmlOp.CREATE: ObjectType.FILE,
+                     CmlOp.MKDIR: ObjectType.DIRECTORY,
+                     CmlOp.SYMLINK: ObjectType.SYMLINK}[op]
+            vnode = Vnode(record.fid, otype, mtime=mtime,
+                          content=record.content, target=record.target)
+            volume.add(vnode)
+            parent = volume.require(record.parent)
+            parent.children[record.name] = record.fid
+            volume.bump(parent, mtime)
+            volume.stamp += 1  # the new object itself
+        elif op is CmlOp.UNLINK:
+            parent = volume.require(record.parent)
+            parent.children.pop(record.name, None)
+            volume.bump(parent, mtime)
+            vnode = volume.get(record.fid)
+            if vnode is not None:
+                vnode.link_count -= 1
+                if vnode.link_count <= 0:
+                    volume.remove(record.fid)
+        elif op is CmlOp.RMDIR:
+            parent = volume.require(record.parent)
+            parent.children.pop(record.name, None)
+            volume.bump(parent, mtime)
+            volume.remove(record.fid)
+        elif op is CmlOp.RENAME:
+            parent = volume.require(record.parent)
+            parent.children.pop(record.name, None)
+            volume.bump(parent, mtime)
+            target_dir = volume.require(record.to_parent)
+            target_dir.children[record.to_name] = record.fid
+            volume.bump(target_dir, mtime)
+        elif op is CmlOp.LINK:
+            parent = volume.require(record.parent)
+            parent.children[record.name] = record.fid
+            vnode = volume.require(record.fid)
+            vnode.link_count += 1
+            volume.bump(parent, mtime)
+
+
+class _ShadowState:
+    """Copy-on-write view of the registry for conflict-free validation."""
+
+    def __init__(self, registry):
+        self.registry = registry
+        self._clones = {}
+        self._deleted = set()
+        self._created = {}
+        self._own_bumps = {}     # fid -> versions added by this chunk
+
+    def get(self, fid):
+        if fid is None or fid in self._deleted:
+            return None
+        if fid in self._clones:
+            return self._clones[fid]
+        if fid in self._created:
+            return self._created[fid]
+        try:
+            volume = self.registry.by_id(fid.volume)
+        except KeyError:
+            return None
+        vnode = volume.get(fid)
+        if vnode is None:
+            return None
+        clone = vnode.clone()
+        self._clones[fid] = clone
+        return clone
+
+    def base_version(self, fid, vnode):
+        """The version this chunk's client saw before its own updates.
+
+        A chunk may store the same file twice (with optimizations off);
+        the client logged both against the pre-chunk server version, so
+        versions added by the chunk itself are discounted — the analogue
+        of Coda recognizing its own store-ids.
+        """
+        return vnode.version - self._own_bumps.get(fid, 0)
+
+    def apply(self, record):
+        """Apply a record to the shadow only."""
+        op = record.op
+        if op is CmlOp.STORE:
+            vnode = self.get(record.fid)
+            vnode.content = record.content
+            vnode.version += 1
+            self._own_bumps[record.fid] = \
+                self._own_bumps.get(record.fid, 0) + 1
+        elif op is CmlOp.SETATTR:
+            self.get(record.fid).version += 1
+            self._own_bumps[record.fid] = \
+                self._own_bumps.get(record.fid, 0) + 1
+        elif op in (CmlOp.CREATE, CmlOp.MKDIR, CmlOp.SYMLINK):
+            otype = {CmlOp.CREATE: ObjectType.FILE,
+                     CmlOp.MKDIR: ObjectType.DIRECTORY,
+                     CmlOp.SYMLINK: ObjectType.SYMLINK}[op]
+            vnode = Vnode(record.fid, otype, content=record.content,
+                          target=record.target)
+            self._created[record.fid] = vnode
+            self._deleted.discard(record.fid)
+            self.get(record.parent).children[record.name] = record.fid
+        elif op is CmlOp.UNLINK:
+            self.get(record.parent).children.pop(record.name, None)
+            vnode = self.get(record.fid)
+            if vnode is not None:
+                vnode.link_count -= 1
+                if vnode.link_count <= 0:
+                    self._mark_deleted(record.fid)
+        elif op is CmlOp.RMDIR:
+            self.get(record.parent).children.pop(record.name, None)
+            self._mark_deleted(record.fid)
+        elif op is CmlOp.RENAME:
+            self.get(record.parent).children.pop(record.name, None)
+            self.get(record.to_parent).children[record.to_name] = record.fid
+        elif op is CmlOp.LINK:
+            self.get(record.parent).children[record.name] = record.fid
+            vnode = self.get(record.fid)
+            if vnode is not None:
+                vnode.link_count += 1
+
+    def _mark_deleted(self, fid):
+        self._deleted.add(fid)
+        self._clones.pop(fid, None)
+        self._created.pop(fid, None)

@@ -1,0 +1,192 @@
+"""Server replication: Coda's other availability mechanism.
+
+Section 2.2: Coda "achieves high availability through the use of two
+complementary mechanisms", disconnected operation and *server
+replication*.  The paper sets replication aside as incidental to weak
+connectivity, and so does this reproduction — but the substrate exists
+so that clients can keep working through a server failure:
+
+* a :class:`ReplicaSet` presents the one-connection ``call`` interface
+  Venus expects while fanning out to a volume storage group (VSG):
+  reads go to a preferred server with failover, updates go to every
+  reachable replica (read-one/write-all);
+* replicas that miss updates while down are *stale*; when one is heard
+  from again, the replica set triggers *resolution* — the lagging
+  volume is brought to equality with an up-to-date replica before use,
+  the server-to-server analogue of Coda's resolution protocol;
+* only when no replica responds does a call raise
+  :class:`ConnectionDead`, so Venus's disconnection machinery engages
+  exactly as with a single server.
+
+Scope notes: this is read-one/write-all with whole-volume resolution
+by state copy.  Coda's actual protocol (COP1/COP2 with version
+vectors and per-object resolution logs) is richer; this substrate
+keeps the client-visible behaviour — masking of single-server
+failures — without the full machinery.
+"""
+
+from repro.rpc2.errors import ConnectionDead
+from repro.rpc2.packets import SMALL_ARGS
+
+#: Procedures that mutate server state (fan out to every replica).
+UPDATE_PROCS = frozenset({
+    "Store", "MakeObject", "Remove", "Rename", "SetAttr", "Link",
+    "PutFragment", "Reintegrate",
+})
+
+
+def create_replicated_volume(servers, name, mount_prefix):
+    """Create the same volume on every server of a VSG.
+
+    Fresh volumes allocate fids deterministically, so creating them in
+    the same order on each server yields identical replicas with
+    identical fids.  Returns the list of volume replicas.
+    """
+    return [server.create_volume(name, mount_prefix)
+            for server in servers]
+
+
+def resolve_replica(source, target, volid):
+    """Bring ``target`` server's volume to equality with ``source``'s.
+
+    Used when a replica rejoins after missing updates.  State is
+    copied wholesale (vnodes cloned, stamp adopted); the target's
+    outstanding callbacks for the volume are dropped, since its
+    promises may no longer hold.
+    """
+    src_volume = source.registry.by_id(volid)
+    dst_volume = target.registry.by_id(volid)
+    dst_volume.vnodes = {fid: vnode.clone()
+                         for fid, vnode in src_volume.vnodes.items()}
+    dst_volume.root = dst_volume.vnodes[src_volume.root_fid]
+    dst_volume.stamp = src_volume.stamp
+    # Fresh counters, seeded past every copied fid, so future
+    # allocations on the healed replica cannot collide with state it
+    # just adopted.  (Replicas must not share one iterator object.)
+    from itertools import count as _count
+    highest_vnode = max((fid.vnode for fid in src_volume.vnodes),
+                        default=0)
+    highest_uniq = max((fid.uniq for fid in src_volume.vnodes),
+                       default=0)
+    dst_volume._vnode_counter = _count(highest_vnode + 1)
+    dst_volume._uniq_counter = _count(highest_uniq + 1)
+    for fid in list(src_volume.vnodes):
+        target.callbacks._object_holders.pop(fid, None)
+    target.callbacks._volume_holders.pop(volid, None)
+    return dst_volume
+
+
+class ReplicaSet:
+    """A client's connection to a volume storage group.
+
+    Drop-in for :class:`~repro.rpc2.endpoint.Rpc2Connection`: ``call``
+    returns a simulation process yielding a CallResult.
+    """
+
+    def __init__(self, endpoint, server_nodes, servers=None):
+        if not server_nodes:
+            raise ValueError("a replica set needs at least one server")
+        self.endpoint = endpoint
+        self.server_nodes = list(server_nodes)
+        self.connections = {node: endpoint.connect(node)
+                            for node in self.server_nodes}
+        # Server objects, if provided, enable automatic resolution.
+        self._servers = {}
+        if servers:
+            self._servers = dict(zip(self.server_nodes, servers))
+        #: Replicas that missed at least one update while unreachable.
+        self.stale = set()
+        self.writes_missed = {node: 0 for node in self.server_nodes}
+        self.resolutions = 0
+
+    @property
+    def sim(self):
+        return self.endpoint.sim
+
+    def call(self, procedure, args=None, args_size=SMALL_ARGS,
+             send_size=0, max_retries=None):
+        kwargs = {}
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
+        return self.sim.process(
+            self._call(procedure, args, args_size, send_size, kwargs),
+            name="vsg-%s" % procedure)
+
+    # ------------------------------------------------------------------
+
+    def _reachable_first(self):
+        """Server order for reads: non-stale first, then stale."""
+        fresh = [n for n in self.server_nodes if n not in self.stale]
+        return fresh + [n for n in self.server_nodes if n in self.stale]
+
+    def _call(self, procedure, args, args_size, send_size, kwargs):
+        if procedure in UPDATE_PROCS:
+            result = yield from self._update_all(
+                procedure, args, args_size, send_size, kwargs)
+        else:
+            result = yield from self._read_one(
+                procedure, args, args_size, kwargs)
+        return result
+
+    def _read_one(self, procedure, args, args_size, kwargs):
+        last_error = None
+        for node in self._reachable_first():
+            if node in self.stale:
+                healed = yield from self._try_resolve(node)
+                if not healed:
+                    continue
+            try:
+                result = yield self.connections[node].call(
+                    procedure, args, args_size=args_size, **kwargs)
+                return result
+            except ConnectionDead as dead:
+                last_error = dead
+        raise last_error or ConnectionDead("no replica reachable")
+
+    def _update_all(self, procedure, args, args_size, send_size, kwargs):
+        result = None
+        reached = 0
+        for node in list(self.server_nodes):
+            if node in self.stale:
+                healed = yield from self._try_resolve(node)
+                if not healed:
+                    self.writes_missed[node] += 1
+                    continue
+            try:
+                outcome = yield self.connections[node].call(
+                    procedure, args, args_size=args_size,
+                    send_size=send_size, **kwargs)
+                reached += 1
+                if result is None:
+                    result = outcome
+            except ConnectionDead:
+                # The replica missed this update: mark it stale so it
+                # is resolved before anyone reads from it again.
+                self.stale.add(node)
+                self.writes_missed[node] += 1
+        if reached == 0:
+            raise ConnectionDead("no replica accepted the update")
+        return result
+
+    def _try_resolve(self, node):
+        """Generator: heal a stale replica if it is reachable again."""
+        try:
+            yield self.endpoint.ping(node, timeout=5.0)
+        except ConnectionDead:
+            return False
+        source_node = next((n for n in self.server_nodes
+                            if n not in self.stale), None)
+        if source_node is None:
+            return False
+        source = self._servers.get(source_node)
+        target = self._servers.get(node)
+        if source is not None and target is not None:
+            for volume in source.registry.volumes():
+                try:
+                    target.registry.by_id(volume.volid)
+                except KeyError:
+                    continue
+                resolve_replica(source, target, volume.volid)
+            self.resolutions += 1
+        self.stale.discard(node)
+        return True

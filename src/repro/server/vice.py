@@ -1,0 +1,352 @@
+"""The Coda server: Vice RPC handlers over volumes and callbacks.
+
+One :class:`CodaServer` owns a volume registry, a callback registry, a
+fragment store, and an RPC2 endpoint.  Clients are identified by their
+node names (the transport supplies them), so no separate registration
+step is needed.  Callback breaks are delivered asynchronously by RPC
+to the client's own endpoint; an unreachable client simply loses all
+its callbacks, exactly as a real server discards promises it can no
+longer keep.
+"""
+
+from repro.fs.namespace import VolumeRegistry
+from repro.fs.objects import ObjectType, Vnode
+from repro.fs.volume import Volume
+from repro.rpc2.endpoint import Rpc2Endpoint
+from repro.rpc2.errors import ConnectionDead
+from repro.server.callbacks import CallbackRegistry
+from repro.server.reintegration import Reintegrator
+from repro.server.store import FragmentStore, ServerCosts
+from repro.rpc2.packets import CODA_PORT
+
+
+class SizedResult(dict):
+    """An RPC result dict with an explicit wire size."""
+
+    def __init__(self, data, wire_size):
+        super().__init__(data)
+        self.wire_size = wire_size
+
+
+class CodaServer:
+    """A file server exporting volumes to Venus clients."""
+
+    def __init__(self, sim, network, node, host, costs=None,
+                 default_bps=9600.0):
+        self.sim = sim
+        self.node = node
+        self.costs = costs or ServerCosts()
+        self.registry = VolumeRegistry()
+        self.callbacks = CallbackRegistry()
+        self.fragments = FragmentStore()
+        self.reintegrator = Reintegrator(self.registry)
+        self.endpoint = Rpc2Endpoint(sim, network, node, CODA_PORT, host,
+                                     default_bps=default_bps)
+        self._client_conns = {}
+        self._volid_counter = 100
+        self.reintegrations = 0
+        self.reintegration_conflicts = 0
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # Volume administration
+
+    def create_volume(self, name, mount_prefix):
+        """Create and mount a new volume; returns it."""
+        self._volid_counter += 1
+        volume = Volume(self._volid_counter, name)
+        self.registry.mount(mount_prefix, volume)
+        return volume
+
+    # ------------------------------------------------------------------
+    # Callback breaking
+
+    def _conn_to(self, client):
+        conn = self._client_conns.get(client)
+        if conn is None:
+            conn = self.endpoint.connect(client)
+            self._client_conns[client] = conn
+        return conn
+
+    def _break_callbacks(self, updater, fid):
+        object_clients, volume_clients = \
+            self.callbacks.breaks_for_update(updater, fid)
+        notify = {}
+        for client in object_clients:
+            notify.setdefault(client, {"fids": [], "volumes": []})
+            notify[client]["fids"].append(fid)
+        for client in volume_clients:
+            notify.setdefault(client, {"fids": [], "volumes": []})
+            notify[client]["volumes"].append(fid.volume)
+        for client, breaks in notify.items():
+            self.sim.process(self._deliver_break(client, breaks),
+                             name="break-%s" % client)
+
+    def _deliver_break(self, client, breaks):
+        conn = self._conn_to(client)
+        try:
+            yield conn.call("BreakCallback", breaks, max_retries=2)
+        except ConnectionDead:
+            # The client is unreachable; it must revalidate on
+            # reconnection anyway, so just forget all its callbacks.
+            self.callbacks.drop_client(client)
+
+    # ------------------------------------------------------------------
+    # Handlers
+
+    def _register_handlers(self):
+        ep = self.endpoint
+        ep.register("GetAttr", self._h_getattr)
+        ep.register("ValidateAttrs", self._h_validate_attrs)
+        ep.register("ValidateVolumes", self._h_validate_volumes)
+        ep.register("GetVolumeStamps", self._h_get_volume_stamps)
+        ep.register("Fetch", self._h_fetch)
+        ep.register("Store", self._h_store)
+        ep.register("MakeObject", self._h_make_object)
+        ep.register("Remove", self._h_remove)
+        ep.register("Rename", self._h_rename)
+        ep.register("SetAttr", self._h_setattr)
+        ep.register("Link", self._h_link)
+        ep.register("PutFragment", self._h_put_fragment)
+        ep.register("Reintegrate", self._h_reintegrate)
+
+    def _vnode(self, fid):
+        try:
+            volume = self.registry.by_id(fid.volume)
+        except KeyError:
+            return None, None
+        return volume, volume.get(fid)
+
+    def _h_getattr(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_fetch)
+        volume, vnode = self._vnode(args["fid"])
+        if vnode is None:
+            return {"error": "nofile"}
+        self.callbacks.add_object(ctx.peer, vnode.fid)
+        return SizedResult({"status": vnode.status(),
+                            "volume_stamp": volume.stamp}, 100)
+
+    def _h_validate_attrs(self, ctx, args):
+        """Batched per-object validation (the pre-volume-callback path)."""
+        results = {}
+        reply_size = 8
+        for fid, version in args["pairs"]:
+            yield self.sim.timeout(self.costs.per_object_validate)
+            _volume, vnode = self._vnode(fid)
+            if vnode is not None and vnode.version == version:
+                results[fid] = (True, None)
+                self.callbacks.add_object(ctx.peer, fid)
+                reply_size += 4
+            elif vnode is not None:
+                results[fid] = (False, vnode.status())
+                self.callbacks.add_object(ctx.peer, fid)
+                reply_size += 100
+            else:
+                results[fid] = (False, None)
+                reply_size += 4
+        return SizedResult({"results": results}, reply_size)
+
+    def _h_validate_volumes(self, ctx, args):
+        """Batched volume-stamp validation (section 4.2.1).
+
+        Valid stamps acquire a volume callback as a side effect.
+        """
+        results = {}
+        for volid, stamp in args["stamps"].items():
+            yield self.sim.timeout(self.costs.per_object_validate)
+            try:
+                volume = self.registry.by_id(volid)
+            except KeyError:
+                results[volid] = (False, None)
+                continue
+            if volume.stamp == stamp:
+                self.callbacks.add_volume(ctx.peer, volid)
+                results[volid] = (True, stamp)
+            else:
+                results[volid] = (False, volume.stamp)
+        return SizedResult({"results": results},
+                           8 + 8 * len(results))
+
+    def _h_get_volume_stamps(self, ctx, args):
+        results = {}
+        for volid in args["volumes"]:
+            yield self.sim.timeout(self.costs.per_object_validate)
+            try:
+                volume = self.registry.by_id(volid)
+            except KeyError:
+                continue
+            self.callbacks.add_volume(ctx.peer, volid)
+            results[volid] = volume.stamp
+        return SizedResult({"stamps": results}, 8 + 8 * len(results))
+
+    def _h_fetch(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_fetch)
+        volume, vnode = self._vnode(args["fid"])
+        if vnode is None:
+            return {"error": "nofile"}
+        self.callbacks.add_object(ctx.peer, vnode.fid)
+        result = SizedResult({"status": vnode.status(),
+                              "volume_stamp": volume.stamp,
+                              "content": vnode.content,
+                              "children": dict(vnode.children or {}),
+                              "target": vnode.target}, 150)
+        return result, vnode.length
+
+    def _h_store(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, vnode = self._vnode(args["fid"])
+        if vnode is None:
+            return {"error": "nofile"}
+        base = args.get("base_version")
+        if base is not None and vnode.version != base:
+            return {"error": "conflict"}
+        vnode.content = args["content"]
+        volume.bump(vnode, self.sim.now)
+        self._break_callbacks(ctx.peer, vnode.fid)
+        self.callbacks.add_object(ctx.peer, vnode.fid)
+        return {"version": vnode.version, "volume_stamp": volume.stamp}
+
+    def _h_make_object(self, ctx, args):
+        """Create a file, directory, or symlink (connected mode)."""
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, parent = self._vnode(args["parent"])
+        if parent is None or not parent.is_dir():
+            return {"error": "nofile"}
+        if parent.lookup(args["name"]) is not None:
+            return {"error": "exists"}
+        if volume.get(args["fid"]) is not None:
+            return {"error": "exists"}   # fid already in use
+        otype = ObjectType(args["otype"])
+        vnode = Vnode(args["fid"], otype, mtime=self.sim.now,
+                      content=args.get("content"),
+                      target=args.get("target"))
+        volume.add(vnode)
+        parent.children[args["name"]] = vnode.fid
+        volume.bump(parent, self.sim.now)
+        volume.stamp += 1
+        self._break_callbacks(ctx.peer, parent.fid)
+        self.callbacks.add_object(ctx.peer, parent.fid)
+        self.callbacks.add_object(ctx.peer, vnode.fid)
+        return {"status": vnode.status(), "parent_version": parent.version,
+                "volume_stamp": volume.stamp}
+
+    def _h_remove(self, ctx, args):
+        """Unlink a file/symlink or remove an empty directory."""
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, parent = self._vnode(args["parent"])
+        if parent is None:
+            return {"error": "nofile"}
+        fid = parent.lookup(args["name"])
+        if fid is None:
+            return {"error": "nofile"}
+        vnode = volume.get(fid)
+        if vnode is not None and vnode.is_dir():
+            if vnode.children:
+                return {"error": "notempty"}
+            volume.remove(fid)
+        elif vnode is not None:
+            vnode.link_count -= 1
+            if vnode.link_count <= 0:
+                volume.remove(fid)
+        del parent.children[args["name"]]
+        volume.bump(parent, self.sim.now)
+        self._break_callbacks(ctx.peer, fid)
+        self._break_callbacks(ctx.peer, parent.fid)
+        self.callbacks.add_object(ctx.peer, parent.fid)
+        return {"parent_version": parent.version,
+                "volume_stamp": volume.stamp}
+
+    def _h_rename(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, src_dir = self._vnode(args["parent"])
+        if src_dir is None:
+            return {"error": "nofile"}
+        fid = src_dir.lookup(args["name"])
+        if fid is None:
+            return {"error": "nofile"}
+        _vol2, dst_dir = self._vnode(args["to_parent"])
+        if dst_dir is None or not dst_dir.is_dir():
+            return {"error": "nofile"}
+        if dst_dir.lookup(args["to_name"]) is not None:
+            return {"error": "exists"}
+        del src_dir.children[args["name"]]
+        dst_dir.children[args["to_name"]] = fid
+        volume.bump(src_dir, self.sim.now)
+        volume.bump(dst_dir, self.sim.now)
+        self._break_callbacks(ctx.peer, src_dir.fid)
+        self._break_callbacks(ctx.peer, dst_dir.fid)
+        return {"volume_stamp": volume.stamp}
+
+    def _h_setattr(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, vnode = self._vnode(args["fid"])
+        if vnode is None:
+            return {"error": "nofile"}
+        base = args.get("base_version")
+        if base is not None and vnode.version != base:
+            return {"error": "conflict"}
+        volume.bump(vnode, self.sim.now)
+        self._break_callbacks(ctx.peer, vnode.fid)
+        self.callbacks.add_object(ctx.peer, vnode.fid)
+        return {"version": vnode.version, "volume_stamp": volume.stamp}
+
+    def _h_link(self, ctx, args):
+        yield self.sim.timeout(self.costs.per_operation)
+        volume, parent = self._vnode(args["parent"])
+        _vol2, vnode = self._vnode(args["fid"])
+        if parent is None or vnode is None:
+            return {"error": "nofile"}
+        if parent.lookup(args["name"]) is not None:
+            return {"error": "exists"}
+        parent.children[args["name"]] = vnode.fid
+        vnode.link_count += 1
+        volume.bump(parent, self.sim.now)
+        self._break_callbacks(ctx.peer, parent.fid)
+        return {"volume_stamp": volume.stamp}
+
+    # ------------------------------------------------------------------
+    # Weak-connectivity machinery
+
+    def _h_put_fragment(self, ctx, args):
+        """Accept one fragment of a large file awaiting reintegration."""
+        key = (ctx.peer, args["key"])
+        received = self.fragments.put(key, args["index"],
+                                      ctx.received_bytes,
+                                      args["total_size"])
+        return {"received": received}
+
+    def _h_reintegrate(self, ctx, args):
+        """Atomically replay a chunk of a client's CML (section 4.3.3)."""
+        records = args["records"]
+        preshipped = set(args.get("preshipped", ()))
+        self.reintegrations += 1
+        # Fragmented stores must be fully present before we even try.
+        missing = []
+        for record in records:
+            if record.seqno in preshipped:
+                key = (ctx.peer, record.seqno)
+                if not self.fragments.is_complete(key, record.content.size):
+                    missing.append(record.seqno)
+        if missing:
+            return {"status": "missing_data", "missing": missing}
+        yield self.sim.timeout(self.costs.reintegration_fixed
+                               + self.costs.per_record * len(records))
+        conflicts = self.reintegrator.validate(records)
+        if conflicts:
+            self.reintegration_conflicts += len(conflicts)
+            return SizedResult(
+                {"status": "conflict", "conflicts": conflicts},
+                16 + 16 * len(conflicts))
+        new_versions, stamps = self.reintegrator.apply(records, self.sim.now)
+        for record in records:
+            if record.seqno in preshipped:
+                self.fragments.consume((ctx.peer, record.seqno))
+            self._break_callbacks(ctx.peer, record.fid)
+            if record.parent is not None:
+                self._break_callbacks(ctx.peer, record.parent)
+            if record.to_parent is not None:
+                self._break_callbacks(ctx.peer, record.to_parent)
+        return SizedResult({"status": "ok",
+                            "new_versions": new_versions,
+                            "volume_stamps": stamps},
+                           16 + 12 * len(new_versions))

@@ -1,0 +1,187 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes
+wait on events by yielding them; other code triggers them with
+:meth:`Event.succeed` or :meth:`Event.fail`.
+"""
+
+_PENDING = object()
+
+# Scheduling priorities: urgent events (process resumption bookkeeping)
+# run before normal events that fire at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The interrupting party supplies an arbitrary ``cause`` explaining
+    why (for example, "link went down").
+    """
+
+    @property
+    def cause(self):
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three phases: *pending* (created), *triggered*
+    (value decided, callbacks scheduled), and *processed* (callbacks
+    ran).  Callbacks added after processing are delivered immediately
+    (at the current simulation instant) so late subscribers never hang.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self):
+        """True once the event's outcome (value or failure) is decided."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self):
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self):
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok is True
+
+    @property
+    def value(self):
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event value not yet available")
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self, URGENT)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with a failure carried by ``exception``."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self, URGENT)
+        return self
+
+    def defuse(self):
+        """Mark a failure as handled so the kernel will not re-raise it."""
+        self._defused = True
+
+    def subscribe(self, callback):
+        """Arrange for ``callback(event)`` once the event is processed."""
+        if self._processed:
+            self.sim._call_soon(callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def unsubscribe(self, callback):
+        """Remove a previously subscribed callback, if still pending."""
+        try:
+            self.callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _process(self):
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self._defused:
+            raise UnhandledFailure(self._value)
+
+    def __repr__(self):
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return "<%s %s at %#x>" % (type(self).__name__, state, id(self))
+
+
+class UnhandledFailure(Exception):
+    """An event failed and no process was waiting to observe it."""
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` time units after creation.
+
+    The value is decided up front but the event only *triggers* when
+    its time arrives — before that, ``triggered`` is False like any
+    other pending event.
+    """
+
+    def __init__(self, sim, delay, value=None):
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self._pending_value = value
+        sim._schedule_event(self, NORMAL, delay=delay)
+
+    def _process(self):
+        self._ok = True
+        self._value = self._pending_value
+        super()._process()
+
+
+class Condition(Event):
+    """Base for events composed of several child events."""
+
+    def __init__(self, sim, events, count_needed):
+        super().__init__(sim)
+        self._events = list(events)
+        self._count_needed = count_needed
+        self._count = 0
+        if not self._events or count_needed == 0:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            event.subscribe(self._on_child)
+
+    def _collect(self):
+        return {e: e._value for e in self._events if e.triggered and e._ok}
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count >= self._count_needed:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Succeeds when any child event succeeds; fails if a child fails."""
+
+    def __init__(self, sim, events):
+        events = list(events)
+        super().__init__(sim, events, 1 if events else 0)
+
+
+class AllOf(Condition):
+    """Succeeds when all child events have succeeded."""
+
+    def __init__(self, sim, events):
+        events = list(events)
+        super().__init__(sim, events, len(events))

@@ -1,0 +1,103 @@
+"""The simulation kernel: an event heap and the run loop."""
+
+import heapq
+from itertools import count
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in seconds.  Events are executed in
+    ``(time, priority, insertion order)`` order, so identical inputs
+    always produce identical schedules.
+    """
+
+    def __init__(self, start_time=0.0):
+        self.now = float(start_time)
+        self._queue = []
+        self._sequence = count()
+        self._active_process = None
+
+    # ------------------------------------------------------------------
+    # Factories
+
+    def event(self):
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start ``generator`` as a new :class:`Process`."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events):
+        """Event that fires when any of ``events`` does."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Event that fires when all of ``events`` have."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+
+    def _schedule_event(self, event, priority, delay=0.0):
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, priority, next(self._sequence), event))
+
+    def _call_soon(self, callback, *args):
+        stub = Event(self)
+        stub.callbacks.append(lambda _evt: callback(*args))
+        stub.succeed()
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def step(self):
+        """Process the single next event.  Raises IndexError if empty."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self.now = when
+        event._process()
+
+    def peek(self):
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(self, until=None):
+        """Run events until the queue drains or ``until`` is reached.
+
+        ``until`` may be a number (absolute simulation time) or an
+        :class:`Event`; in the latter case the loop stops as soon as the
+        event has been processed and returns its value.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            # The caller observes this event's outcome (we re-raise
+            # failures below), so it never counts as unhandled.
+            stop_event.defuse()
+            while not stop_event.processed:
+                if not self._queue:
+                    raise RuntimeError(
+                        "simulation ran dry before %r triggered" % (until,))
+                self.step()
+            if stop_event._ok is False:
+                stop_event.defuse()
+                raise stop_event._value
+            return stop_event._value
+
+        deadline = float("inf") if until is None else float(until)
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self.now = max(self.now, deadline)
+        return None
+
+    def __repr__(self):
+        return "<Simulator t=%.6f queued=%d>" % (self.now, len(self._queue))

@@ -1,0 +1,79 @@
+"""Generator-based simulation processes."""
+
+from repro.sim.events import Event, Interrupt, URGENT
+
+
+class Process(Event):
+    """A running generator coroutine inside the simulation.
+
+    A process yields :class:`~repro.sim.events.Event` objects and is
+    resumed with the event's value when it triggers (or has the event's
+    exception thrown into it when it fails).  The process is itself an
+    event that triggers with the generator's return value, so processes
+    can wait on each other.
+    """
+
+    def __init__(self, sim, generator, name=None):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target = None
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self):
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is a no-op.  The event the
+        process was waiting on (if any) keeps running; the process
+        simply stops waiting for it.
+        """
+        if self.triggered:
+            return
+        if self._target is not None:
+            self._target.unsubscribe(self._resume)
+            self._target = None
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick._defused = True
+        self.sim._schedule_event(kick, URGENT)
+
+    def _resume(self, event):
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event.defuse()
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self.fail(exc)
+            return
+        self.sim._active_process = None
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                "process %r yielded %r, which is not an Event"
+                % (self.name, target))
+            self._generator.close()
+            self.fail(error)
+            return
+        self._target = target
+        target.subscribe(self._resume)
+
+    def __repr__(self):
+        return "<Process %s %s>" % (
+            self.name, "alive" if self.is_alive else "done")

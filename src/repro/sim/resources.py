@@ -1,0 +1,84 @@
+"""Synchronization and queueing primitives built on events."""
+
+from collections import deque
+
+from repro.sim.events import Event
+
+
+class Lock:
+    """A FIFO mutex for simulation processes.
+
+    Usage::
+
+        yield lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._locked = False
+        self._waiters = deque()
+
+    @property
+    def locked(self):
+        return self._locked
+
+    def acquire(self):
+        """Return an event that fires once the lock is held by the caller."""
+        event = Event(self.sim)
+        if not self._locked:
+            self._locked = True
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Release the lock, waking the next waiter if any."""
+        if not self._locked:
+            raise RuntimeError("release of unlocked Lock")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._locked = False
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    next item (immediately if one is queued).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self):
+        """Return an event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def clear(self):
+        """Drop all queued items (waiting getters stay queued)."""
+        self._items.clear()

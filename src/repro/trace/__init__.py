@@ -1,0 +1,48 @@
+"""File reference traces: generation, simulation, and replay.
+
+The paper's evaluation rests on file reference traces collected at CMU
+in 1991-93 (the *ives*, *concord*, *holst*, *messiaen*, *purcell*
+workstations).  Those traces are not available, so this package
+generates seeded synthetic traces calibrated to the published
+statistics: the Figure 11 segment table (references, updates,
+unoptimized/optimized CML sizes, compressibility), the Figure 10
+compressibility distribution, and the Figure 4 aging curves.
+
+Three consumers:
+
+* :mod:`repro.trace.simulator` — the trace-driven CML simulator (the
+  paper's "Venus simulator"), which replays a trace through the real
+  CML code without a live server;
+* :mod:`repro.trace.replay` — trace replay against a live Venus on a
+  simulated network, with the think-threshold (lambda) handling of
+  section 6.2.1;
+* the benchmark harness, which feeds both.
+"""
+
+from repro.trace.records import TraceOp, TraceRecord, TraceSegment
+from repro.trace.generate import SegmentSpec, generate_segment, build_tree
+from repro.trace.segments import (
+    SEGMENT_SPECS,
+    WEEK_TRACE_SPECS,
+    segment_by_name,
+    week_trace_by_name,
+)
+from repro.trace.simulator import CmlSimulator, SimulationReport
+from repro.trace.replay import TraceReplayer, ReplayReport
+
+__all__ = [
+    "CmlSimulator",
+    "ReplayReport",
+    "SEGMENT_SPECS",
+    "SegmentSpec",
+    "SimulationReport",
+    "TraceOp",
+    "TraceRecord",
+    "TraceReplayer",
+    "TraceSegment",
+    "WEEK_TRACE_SPECS",
+    "build_tree",
+    "generate_segment",
+    "segment_by_name",
+    "week_trace_by_name",
+]

@@ -1,0 +1,99 @@
+"""Trace import/export.
+
+Section 6.2.1: "The traces and the replay software can be exported."
+Segments serialize to a line-oriented text format: a header, the tree,
+and one record per line, so traces can be saved, shared, and replayed
+elsewhere (or inspected with ordinary text tools).
+
+Format::
+
+    #repro-trace 1
+    #name <name>
+    #duration <seconds>
+    T <dir|file> <size> <path>
+    R <time> <op> <size> <path> [<to_path_or_target>] [<program>]
+"""
+
+from repro.trace.records import TraceOp, TraceRecord, TraceSegment
+
+_FORMAT = "#repro-trace 1"
+_NONE = "-"
+
+
+def _quote(value):
+    if value is None or value == "":
+        return _NONE
+    return str(value).replace(" ", "%20")
+
+
+def _unquote(token):
+    if token == _NONE:
+        return None
+    return token.replace("%20", " ")
+
+
+def dump_trace(segment, stream):
+    """Write ``segment`` to a text ``stream``."""
+    stream.write(_FORMAT + "\n")
+    stream.write("#name %s\n" % _quote(segment.name))
+    stream.write("#duration %r\n" % segment.duration)
+    for path in sorted(segment.tree):
+        kind, size = segment.tree[path]
+        stream.write("T %s %d %s\n" % (kind, size, _quote(path)))
+    for record in segment.records:
+        extra = record.to_path if record.op is TraceOp.RENAME \
+            else record.target
+        stream.write("R %r %s %d %s %s %s\n" % (
+            record.time, record.op.value, record.size,
+            _quote(record.path), _quote(extra), _quote(record.program)))
+
+
+def load_trace(stream):
+    """Read a segment previously written by :func:`dump_trace`."""
+    header = stream.readline().rstrip("\n")
+    if header != _FORMAT:
+        raise ValueError("not a repro trace: %r" % header)
+    name = "imported"
+    duration = 0.0
+    tree = {}
+    records = []
+    for line in stream:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#name "):
+            name = _unquote(line[len("#name "):])
+        elif line.startswith("#duration "):
+            duration = float(line[len("#duration "):])
+        elif line.startswith("T "):
+            _t, kind, size, path = line.split(" ", 3)
+            tree[_unquote(path)] = (kind, int(size))
+        elif line.startswith("R "):
+            parts = line.split(" ")
+            _r, time_s, op_s, size_s, path_t, extra_t, program_t = parts
+            op = TraceOp(op_s)
+            record = TraceRecord(
+                time=float(time_s), op=op, path=_unquote(path_t),
+                size=int(size_s), program=_unquote(program_t))
+            extra = _unquote(extra_t)
+            if op is TraceOp.RENAME:
+                record.to_path = extra
+            else:
+                record.target = extra
+            records.append(record)
+        else:
+            raise ValueError("bad trace line: %r" % line)
+    return TraceSegment(name=name, duration=duration,
+                        records=records, tree=tree)
+
+
+def save_trace(segment, path):
+    """Write ``segment`` to the file at ``path``."""
+    with open(path, "w") as stream:
+        dump_trace(segment, stream)
+
+
+def read_trace(path):
+    """Load a segment from the file at ``path``."""
+    with open(path) as stream:
+        return load_trace(stream)

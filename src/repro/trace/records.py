@@ -1,0 +1,86 @@
+"""Trace record schema.
+
+Coda uses the open-close session semantics of AFS, so traces record
+whole-file sessions, not individual reads and writes: "Updates ...
+only refers to operations such as close after write, and mkdir.
+References includes, in addition, operations such as close after read,
+stat, and lookup" (Figure 11's caption).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TraceOp(enum.Enum):
+    READ = "read"          # close after read (whole-file session)
+    WRITE = "write"        # close after write
+    STAT = "stat"
+    LOOKUP = "lookup"
+    READDIR = "readdir"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    CREATE = "create"      # creat() without data (empty file)
+    UNLINK = "unlink"
+    RENAME = "rename"
+    SYMLINK = "symlink"
+    SETATTR = "setattr"
+
+
+#: Operations that mutate state (the "Updates" column of Figure 11).
+UPDATE_OPS = frozenset({
+    TraceOp.WRITE, TraceOp.MKDIR, TraceOp.RMDIR, TraceOp.CREATE,
+    TraceOp.UNLINK, TraceOp.RENAME, TraceOp.SYMLINK, TraceOp.SETATTR,
+})
+
+
+@dataclass
+class TraceRecord:
+    """One traced file system operation."""
+
+    time: float
+    op: TraceOp
+    path: str
+    size: int = 0                      # bytes, for WRITE
+    to_path: Optional[str] = None      # RENAME destination
+    target: Optional[str] = None       # SYMLINK target
+    program: Optional[str] = None      # referencing program (Figure 5)
+
+    @property
+    def is_update(self):
+        return self.op in UPDATE_OPS
+
+
+@dataclass
+class TraceSegment:
+    """A generated trace plus the tree it runs against."""
+
+    name: str
+    duration: float
+    records: list
+    tree: dict                  # path -> ("dir", 0) | ("file", size)
+    spec: object = None
+
+    @property
+    def references(self):
+        return len(self.records)
+
+    @property
+    def updates(self):
+        return sum(1 for record in self.records if record.is_update)
+
+    def think_time_above(self, threshold):
+        """Total trace delay preserved at think threshold ``threshold``."""
+        preserved = 0.0
+        last = 0.0
+        for record in self.records:
+            gap = record.time - last
+            if gap >= threshold:
+                preserved += gap
+            last = record.time
+        return preserved
+
+    def slice_after(self, start_time):
+        """Records at or after ``start_time`` (for warm-up splits)."""
+        return [record for record in self.records
+                if record.time >= start_time]

@@ -1,0 +1,110 @@
+"""Calibrated trace presets.
+
+The four 45-minute replay segments target the Figure 11 table::
+
+    Segment   Refs     Updates  Unopt KB  Opt KB  Compressibility
+    Purcell    51681     519      2864     2625       8%
+    Holst      61019     596      3402     2302      32%
+    Messiaen   38342     188      6996     2184      69%
+    Concord   160397    1273     34704     2247      94%
+
+and their think-time structure targets the Figure 12 elapsed times at
+think thresholds of 1 s and 10 s.  The five week-long traces target
+Figure 4's absolute savings at A = 4 h (84 MB ives, 817 MB concord,
+40 MB holst, 152 MB messiaen, 44 MB purcell) and its spread of curve
+shapes: the interval distribution of overwrites determines how quickly
+savings approach their maximum as the aging window grows.
+"""
+
+from repro.trace.generate import (
+    SegmentSpec,
+    WeekTraceSpec,
+    generate_segment,
+    generate_week_trace,
+)
+
+SEGMENT_SPECS = {
+    "purcell": SegmentSpec(
+        name="purcell", seed=11,
+        target_references=51_681,
+        oneshot_writes=436, oneshot_size=5_900,
+        hot_files=4, edit_writes_per_file=8, edit_size=5_000,
+        compile_runs=0,
+        churn_triples=8, churn_size=8_000,
+        dir_pairs=24,
+        pauses_big=61, pauses_med=64,
+        update_anchor=(0.30, 1.0),
+    ),
+    "holst": SegmentSpec(
+        name="holst", seed=12,
+        target_references=61_019,
+        oneshot_writes=320, oneshot_size=7_300,
+        hot_files=10, edit_writes_per_file=16, edit_size=5_500,
+        compile_runs=0,
+        churn_triples=48, churn_size=4_500,
+        dir_pairs=12,
+        pauses_big=38, pauses_med=218,
+        update_anchor=(0.0, 0.16),
+    ),
+    "messiaen": SegmentSpec(
+        name="messiaen", seed=13,
+        target_references=38_342,
+        oneshot_writes=50, oneshot_size=36_000,
+        hot_files=8, edit_writes_per_file=14, edit_size=38_000,
+        compile_runs=0,
+        churn_triples=12, churn_size=16_000,
+        dir_pairs=2,
+        pauses_big=43, pauses_med=164,
+        update_anchor=(0.05, 1.0),
+    ),
+    "concord": SegmentSpec(
+        name="concord", seed=14,
+        target_references=160_397,
+        oneshot_writes=90, oneshot_size=16_000,
+        hot_files=2, edit_writes_per_file=10, edit_size=20_000,
+        compile_runs=45, compile_reads=40, compile_objs=24,
+        obj_size=30_000,
+        churn_triples=40, churn_size=30_000,
+        dir_pairs=3,
+        pauses_big=40, pauses_med=155,
+        update_anchor=(0.25, 1.0),
+    ),
+}
+
+# Week-long traces for the Figure 4 aging analysis.  Savings at
+# A = 4 h (the curves' denominators): ives 84 MB, concord 817 MB,
+# holst 40 MB, messiaen 152 MB, purcell 44 MB.  interval_median and
+# interval_sigma shape each curve: small medians saturate early (the
+# ~80%-at-300 s traces); large medians climb late (~30% at 300 s).
+WEEK_TRACE_SPECS = {
+    "ives": WeekTraceSpec(
+        name="ives", seed=21,
+        chains=500, writes_per_chain=14, write_size=14_000,
+        interval_median=70.0, interval_sigma=1.7),
+    "concord": WeekTraceSpec(
+        name="concord", seed=22,
+        chains=1500, writes_per_chain=32, write_size=18_000,
+        interval_median=700.0, interval_sigma=1.5),
+    "holst": WeekTraceSpec(
+        name="holst", seed=23,
+        chains=320, writes_per_chain=12, write_size=12_000,
+        interval_median=200.0, interval_sigma=1.8),
+    "messiaen": WeekTraceSpec(
+        name="messiaen", seed=24,
+        chains=600, writes_per_chain=18, write_size=16_000,
+        interval_median=400.0, interval_sigma=1.6),
+    "purcell": WeekTraceSpec(
+        name="purcell", seed=25,
+        chains=350, writes_per_chain=12, write_size=12_000,
+        interval_median=120.0, interval_sigma=2.0),
+}
+
+
+def segment_by_name(name):
+    """Generate the named 45-minute replay segment."""
+    return generate_segment(SEGMENT_SPECS[name])
+
+
+def week_trace_by_name(name):
+    """Generate the named week-long aging-analysis trace."""
+    return generate_week_trace(WEEK_TRACE_SPECS[name])

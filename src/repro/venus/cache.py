@@ -1,0 +1,195 @@
+"""The client file cache.
+
+Entries hold object status, optionally contents, and the two validity
+flags of the two-granularity coherence scheme: a per-object callback
+and membership in a volume whose stamp is covered by a volume
+callback.  Cache space is managed by a priority blend of hoard
+priority and recency, as in Kistler's original design; dirty objects
+(those referenced by CML records) and pinned objects (open sessions)
+are never evicted.
+"""
+
+from dataclasses import dataclass
+
+from repro.venus.errors import NoSpaceError
+
+#: Modelled metadata overhead per cache entry, bytes.
+ENTRY_OVERHEAD = 256
+
+
+@dataclass
+class VolumeInfo:
+    """Client-side knowledge about one volume."""
+
+    volid: int
+    stamp: object = None        # last validated version stamp (None = none)
+    callback: bool = False      # volume callback believed valid
+
+    def drop(self):
+        self.stamp = None
+        self.callback = False
+
+
+class CacheEntry:
+    """One cached object."""
+
+    def __init__(self, fid, otype, path=None):
+        self.fid = fid
+        self.otype = otype
+        self.path = path
+        self.version = None        # server version last known
+        self.length = 0
+        self.mtime = 0.0
+        self.content = None        # Content, or None for status-only
+        self.children = None       # name -> fid, for directories
+        self.target = None         # symlink target
+        self.callback = False      # object callback believed valid
+        self.hoard_priority = 0
+        self.last_ref = 0.0
+        self.dirty = False         # referenced by CML records
+        self.pins = 0              # open sessions
+        self.local = False         # created locally, unknown to server
+
+    @property
+    def has_data(self):
+        return (self.content is not None or self.children is not None
+                or self.target is not None)
+
+    @property
+    def space(self):
+        data = self.content.size if self.content is not None else 0
+        return ENTRY_OVERHEAD + data
+
+    def apply_status(self, status):
+        self.version = status.version
+        self.length = status.length
+        self.mtime = status.mtime
+
+    def __repr__(self):
+        return "<CacheEntry %s %s v%s%s%s>" % (
+            self.fid, self.path, self.version,
+            " data" if self.has_data else "",
+            " dirty" if self.dirty else "")
+
+
+class CacheManager:
+    """Fid-indexed cache with priority eviction and space accounting."""
+
+    def __init__(self, capacity_bytes=50_000 * 1024):
+        self.capacity_bytes = capacity_bytes
+        self._entries = {}
+        self._volumes = {}
+        self._ref_clock = 0
+        self.evictions = 0
+
+    # -- lookup ----------------------------------------------------------
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, fid):
+        return fid in self._entries
+
+    def get(self, fid):
+        return self._entries.get(fid)
+
+    def entries(self):
+        return list(self._entries.values())
+
+    def entries_in_volume(self, volid):
+        return [e for e in self._entries.values() if e.fid.volume == volid]
+
+    def volume_info(self, volid):
+        info = self._volumes.get(volid)
+        if info is None:
+            info = VolumeInfo(volid)
+            self._volumes[volid] = info
+        return info
+
+    def volume_infos(self):
+        return dict(self._volumes)
+
+    @property
+    def used_bytes(self):
+        return sum(entry.space for entry in self._entries.values())
+
+    @property
+    def available_bytes(self):
+        return self.capacity_bytes - self.used_bytes
+
+    # -- mutation ----------------------------------------------------------
+
+    def touch(self, entry, now):
+        self._ref_clock += 1
+        entry.last_ref = now
+
+    def add(self, entry, now):
+        """Insert ``entry``, evicting lower-priority objects if needed."""
+        self.ensure_space(entry.space)
+        self._entries[entry.fid] = entry
+        self.touch(entry, now)
+        return entry
+
+    def remove(self, fid):
+        return self._entries.pop(fid, None)
+
+    def ensure_space(self, nbytes):
+        """Evict until ``nbytes`` fit; raises NoSpaceError if impossible."""
+        if nbytes > self.capacity_bytes:
+            raise NoSpaceError("object of %d bytes exceeds cache capacity"
+                               % nbytes)
+        while self.capacity_bytes - self.used_bytes < nbytes:
+            victim = self._pick_victim()
+            if victim is None:
+                raise NoSpaceError(
+                    "cache full of unevictable objects (%d bytes needed)"
+                    % nbytes)
+            self.evictions += 1
+            del self._entries[victim.fid]
+
+    def _pick_victim(self):
+        """Lowest (hoard priority, recency) unpinned clean entry."""
+        candidates = [e for e in self._entries.values()
+                      if not e.dirty and not e.pins and not e.local
+                      and e.has_data]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda e: (e.hoard_priority, e.last_ref))
+
+    # -- validity (two-granularity coherence) ------------------------------
+
+    def is_valid(self, entry):
+        """Believed coherent: object callback or volume callback."""
+        if entry.local:
+            return True
+        if entry.callback:
+            return True
+        info = self._volumes.get(entry.fid.volume)
+        return bool(info and info.callback)
+
+    def break_object(self, fid):
+        entry = self._entries.get(fid)
+        if entry is not None:
+            entry.callback = False
+
+    def break_volume(self, volid):
+        """A volume callback break: the stamp is stale too (section 4.2.2).
+
+        Objects fall back on their individual callbacks, if any.
+        """
+        info = self._volumes.get(volid)
+        if info is not None:
+            info.drop()
+
+    def drop_all_callbacks(self):
+        """On disconnection, nothing can be trusted until revalidation.
+
+        Volume *stamps* survive — presenting them on reconnection is
+        the whole point of rapid validation — but callback promises do
+        not.
+        """
+        for entry in self._entries.values():
+            entry.callback = False
+        for info in self._volumes.values():
+            info.callback = False

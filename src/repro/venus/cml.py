@@ -1,0 +1,313 @@
+"""The client modify log (CML) and its optimizations.
+
+While emulating or write disconnected, Venus logs every mutating
+operation here.  Before a record is appended, the optimizer checks
+whether it cancels or overrides earlier records (section 4.3.3) — a
+store overwrites a previous store of the same file; an unlink of a
+file created within the log annihilates the create, its stores, and
+itself.  Trace studies showed these optimizations are "the key to
+reducing the volume of reintegration data."
+
+During trickle reintegration a *reintegration barrier* freezes a head
+prefix of the log (Figure 3): frozen records are being shipped and are
+exempt from optimization; only records to the right of the barrier may
+cancel each other.  If reintegration aborts, the barrier is removed
+and the whole log becomes optimizable again.
+"""
+
+import enum
+from dataclasses import dataclass
+from itertools import count
+from typing import Optional
+
+from repro.fs.content import Content
+from repro.fs.fid import Fid
+
+#: Modelled wire/log overhead of one CML record, bytes.
+RECORD_OVERHEAD = 100
+
+
+class CmlOp(enum.Enum):
+    STORE = "store"
+    CREATE = "create"
+    UNLINK = "unlink"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    RENAME = "rename"
+    SYMLINK = "symlink"
+    LINK = "link"
+    SETATTR = "setattr"
+
+
+@dataclass
+class CmlRecord:
+    """One logged update, carrying everything needed to replay it."""
+
+    op: CmlOp
+    fid: Fid                                 # the object acted upon
+    time: float = 0.0                        # append time (for aging)
+    seqno: int = 0
+    parent: Optional[Fid] = None             # containing directory
+    name: Optional[str] = None
+    to_parent: Optional[Fid] = None          # rename destination dir
+    to_name: Optional[str] = None
+    content: Optional[Content] = None        # store payload
+    target: Optional[str] = None             # symlink target
+    base_version: Optional[int] = None       # version the client saw
+    attrs: Optional[dict] = None             # setattr payload
+
+    @property
+    def size(self):
+        """Bytes this record contributes to the CML (and the wire)."""
+        data = self.content.size if self.content is not None else 0
+        return RECORD_OVERHEAD + data
+
+    def involves(self, fid):
+        return fid in (self.fid, self.parent, self.to_parent)
+
+    def __repr__(self):
+        return "<CML #%d %s %s%s>" % (
+            self.seqno, self.op.value, self.fid,
+            " %r" % self.name if self.name else "")
+
+
+@dataclass
+class CmlStats:
+    """Cumulative accounting used by the Figure 14 style tables."""
+
+    appended_records: int = 0
+    appended_bytes: int = 0
+    optimized_records: int = 0
+    optimized_bytes: int = 0
+    reintegrated_records: int = 0
+    reintegrated_bytes: int = 0
+
+    def snapshot(self):
+        return CmlStats(**self.__dict__)
+
+
+class ClientModifyLog:
+    """Temporal log of updates with optimization and a freeze barrier."""
+
+    def __init__(self):
+        self._records = []
+        self._seq = count(1)
+        self._frozen = set()       # id()s of records behind the barrier
+        self.stats = CmlStats()
+
+    # -- basic views ----------------------------------------------------
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self):
+        return list(self._records)
+
+    @property
+    def size_bytes(self):
+        return sum(record.size for record in self._records)
+
+    @property
+    def frozen_count(self):
+        return len(self._frozen)
+
+    def frozen_records(self):
+        return [r for r in self._records if id(r) in self._frozen]
+
+    def unfrozen_records(self):
+        return [r for r in self._records if id(r) not in self._frozen]
+
+    def oldest_age(self, now):
+        if not self._records:
+            return None
+        return now - self._records[0].time
+
+    # -- appending with optimization -------------------------------------
+
+    def append(self, record, now):
+        """Log ``record``, applying cancellation optimizations.
+
+        Returns True if the record was actually appended, False if it
+        annihilated itself together with earlier records (e.g. the
+        unlink of a file created within the log).
+        """
+        record.time = now
+        record.seqno = next(self._seq)
+        self.stats.appended_records += 1
+        self.stats.appended_bytes += record.size
+        return self._optimize_and_insert(record)
+
+    def _optimize_and_insert(self, record):
+        live = self._records
+        op = record.op
+
+        if op is CmlOp.STORE:
+            self._cancel(lambda r: r.op is CmlOp.STORE and r.fid == record.fid)
+        elif op is CmlOp.SETATTR:
+            self._cancel(lambda r: r.op is CmlOp.SETATTR
+                         and r.fid == record.fid)
+        elif op is CmlOp.UNLINK:
+            # Stores and setattrs of a doomed object are always dead.
+            self._cancel(lambda r: r.op in (CmlOp.STORE, CmlOp.SETATTR)
+                         and r.fid == record.fid)
+            creator = self._find_unfrozen(
+                lambda r: r.op in (CmlOp.CREATE, CmlOp.SYMLINK)
+                and r.fid == record.fid)
+            renamed = any(r.op is CmlOp.RENAME and r.fid == record.fid
+                          for r in live)
+            linked = any(r.op is CmlOp.LINK and r.fid == record.fid
+                         for r in live)
+            if creator is not None and not renamed and not linked:
+                # Identity cancellation: create + updates + unlink vanish.
+                self._remove(creator)
+                self._account_self_cancel(record)
+                return False
+        elif op is CmlOp.RMDIR:
+            maker = self._find_unfrozen(
+                lambda r: r.op is CmlOp.MKDIR and r.fid == record.fid)
+            if maker is not None:
+                obstructed = any(
+                    r is not maker and (r.parent == record.fid
+                                        or r.to_parent == record.fid
+                                        or r.fid == record.fid)
+                    for r in live)
+                if not obstructed:
+                    self._remove(maker)
+                    self._account_self_cancel(record)
+                    return False
+        self._records.append(record)
+        return True
+
+    def _find_unfrozen(self, predicate):
+        for index in range(len(self._records) - 1, -1, -1):
+            record = self._records[index]
+            if id(record) not in self._frozen and predicate(record):
+                return record
+        return None
+
+    def _cancel(self, predicate):
+        doomed = [r for r in self._records
+                  if id(r) not in self._frozen and predicate(r)]
+        for record in doomed:
+            self._remove(record)
+
+    def _remove(self, record):
+        self._records.remove(record)
+        self.stats.optimized_records += 1
+        self.stats.optimized_bytes += record.size
+
+    def _account_self_cancel(self, record):
+        self.stats.optimized_records += 1
+        self.stats.optimized_bytes += record.size
+
+    # -- aging and chunk selection (section 4.3.5) -----------------------
+
+    def eligible_records(self, now, aging_window):
+        """The head prefix old enough to reintegrate (temporal order)."""
+        eligible = []
+        for record in self._records:
+            if now - record.time < aging_window:
+                break
+            eligible.append(record)
+        return eligible
+
+    def select_chunk(self, now, aging_window, chunk_bytes):
+        """Maximal eligible prefix whose sizes sum to ``chunk_bytes``.
+
+        At least one record is selected if any is eligible, even if its
+        size alone exceeds the budget (it will be fragmented by the
+        transport; section 4.3.5).  While a reintegration is in flight
+        (records frozen), nothing is selected.
+        """
+        if self._frozen:
+            return []
+        chunk = []
+        total = 0
+        for record in self.eligible_records(now, aging_window):
+            if chunk and total + record.size > chunk_bytes:
+                break
+            chunk.append(record)
+            total += record.size
+        return chunk
+
+    # -- the reintegration barrier (Figure 3) ----------------------------
+
+    def freeze(self, n_records):
+        """Place the barrier after the first ``n_records`` records."""
+        if n_records > len(self._records):
+            raise ValueError("cannot freeze %d of %d records"
+                             % (n_records, len(self._records)))
+        self.freeze_records(self._records[:n_records])
+
+    def freeze_records(self, records):
+        """Freeze an explicit record set (subtree reintegration).
+
+        The set must be *dependency closed*: for every frozen record,
+        every earlier record touching any of the same objects is frozen
+        too, so replay order at the server respects precedence.
+        """
+        if self._frozen:
+            raise RuntimeError("a reintegration is already in progress")
+        wanted = {id(r) for r in records}
+        known = {id(r) for r in self._records}
+        if not wanted <= known:
+            raise ValueError("freezing records not in the log")
+        frozen_fids = set()
+        for record in records:
+            for fid in (record.fid, record.parent, record.to_parent):
+                if fid is not None:
+                    frozen_fids.add(fid)
+        for record in self._records:
+            if id(record) in wanted:
+                continue
+            later_than_all = all(record.seqno > r.seqno for r in records)
+            if later_than_all:
+                continue
+            if any(fid in frozen_fids for fid
+                   in (record.fid, record.parent, record.to_parent)
+                   if fid is not None):
+                raise ValueError(
+                    "frozen set not dependency closed (record %s)"
+                    % record)
+        self._frozen = wanted
+
+    def commit_frozen(self):
+        """Reintegration succeeded: drop the frozen records."""
+        done = [r for r in self._records if id(r) in self._frozen]
+        for record in done:
+            self.stats.reintegrated_records += 1
+            self.stats.reintegrated_bytes += record.size
+        self._records = [r for r in self._records
+                         if id(r) not in self._frozen]
+        self._frozen = set()
+        return done
+
+    def abort_frozen(self):
+        """Reintegration failed: lift the barrier and re-optimize.
+
+        Records that became superfluous while frozen (e.g. a store
+        overwritten by a newer store appended during the attempt) are
+        removed now, exactly as section 4.3.3 describes.
+        """
+        self._frozen = set()
+        survivors = self._records
+        self._records = []
+        for record in survivors:
+            self._optimize_and_insert(record)
+
+    def discard(self, records):
+        """Drop specific records without reintegration accounting.
+
+        Used when a record is found to be in conflict: it leaves the
+        CML and becomes a user-visible conflict instead.
+        """
+        doomed = set(id(r) for r in records)
+        kept = [r for r in self._records if id(r) not in doomed]
+        removed = len(self._records) - len(kept)
+        self._records = kept
+        self._frozen = set()
+        return removed

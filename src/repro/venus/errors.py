@@ -1,0 +1,31 @@
+"""Errors surfaced to applications through the Venus file API."""
+
+
+class CacheMissError(Exception):
+    """The object is not cached and fetching it was not acceptable.
+
+    Raised while disconnected (no network) or while weakly connected
+    when the estimated service time exceeds the user's patience
+    threshold (section 4.4.1).  The miss is recorded so the user can
+    later review it and augment the hoard database (Figure 5).
+    """
+
+    def __init__(self, path, estimated_seconds=None):
+        self.path = path
+        self.estimated_seconds = estimated_seconds
+        detail = ""
+        if estimated_seconds is not None:
+            detail = " (estimated fetch %.0fs)" % estimated_seconds
+        super().__init__("cache miss on %s%s" % (path, detail))
+
+
+class OfflineError(Exception):
+    """The operation fundamentally requires a connection and there is none."""
+
+
+class NoSpaceError(Exception):
+    """The cache cannot hold the object even after eviction."""
+
+
+class ConflictError(Exception):
+    """An update could not be reintegrated; user resolution is needed."""

@@ -1,0 +1,59 @@
+"""Shared test fixtures: simulators, testbeds, convenience runners."""
+
+import pytest
+
+from repro.bench.common import make_testbed, populate_volume, warm_cache
+from repro.net import ETHERNET, MODEM
+from repro.sim import Simulator
+from repro.venus import VenusConfig
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def build_testbed(profile=ETHERNET, tree=None, mount="/coda/usr/u",
+                  venus_config=None, warm=True, user=None, seed=0):
+    """A one-client testbed with an optional populated, warmed volume."""
+    testbed = make_testbed(profile, venus_config=venus_config, user=user,
+                           seed=seed)
+    if tree is None:
+        tree = {
+            mount + "/dir": ("dir", 0),
+            mount + "/dir/a.txt": ("file", 4_000),
+            mount + "/dir/b.txt": ("file", 12_000),
+            mount + "/dir/big.bin": ("file", 400_000),
+        }
+    volume = populate_volume(testbed.server, mount, tree)
+    if warm:
+        warm_cache(testbed.venus, testbed.server, volume)
+    else:
+        testbed.venus.learn_mounts(testbed.server.registry)
+    testbed.volume = volume
+    testbed.mount = mount
+    return testbed
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed()
+
+
+@pytest.fixture
+def modem_testbed():
+    return build_testbed(profile=MODEM)
+
+
+def run_op(testbed, generator):
+    """Run one Venus operation generator to completion."""
+    return testbed.run(generator)
+
+
+def connected(testbed):
+    """Connect the testbed's client; returns the resulting state."""
+    def go():
+        ok = yield from testbed.venus.connect()
+        assert ok
+        return testbed.venus.state.state
+    return testbed.run(go())

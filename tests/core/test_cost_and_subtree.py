@@ -1,0 +1,190 @@
+"""The paper's future-work extensions: cost-aware adaptation
+(section 8) and selective subtree reintegration (section 4.3.5)."""
+
+import pytest
+
+from repro.core.cost import (
+    CELLULAR,
+    FREE,
+    LONG_DISTANCE,
+    CostAwarePolicy,
+    CostLedger,
+    NetworkTariff,
+)
+from repro.fs import SyntheticContent
+from repro.net import MODEM
+from repro.venus import CacheMissError, VenusConfig, VenusState
+
+from tests.conftest import build_testbed, connected
+
+M = "/coda/usr/u"
+MB = 1024 * 1024
+
+
+# -------------------------------------------------------------- tariffs
+
+def test_tariff_arithmetic():
+    tariff = NetworkTariff("t", per_mb=2.0, per_minute=0.6)
+    assert tariff.cost_of(nbytes=MB) == pytest.approx(2.0)
+    assert tariff.cost_of(connected_seconds=60) == pytest.approx(0.6)
+    assert tariff.cost_of(MB, 30) == pytest.approx(2.3)
+    assert FREE.is_free and not CELLULAR.is_free
+
+
+def test_spend_threshold_grows_with_priority():
+    policy = CostAwarePolicy(CELLULAR)
+    assert policy.spend_threshold(900) > 100 * policy.spend_threshold(0)
+
+
+def test_cost_approval():
+    policy = CostAwarePolicy(CELLULAR)
+    # A 4 MB fetch costs ~$10: unaffordable at priority 0, fine at 900.
+    assert not policy.approves_fetch(0, 4 * MB)
+    assert policy.approves_fetch(900, 4 * MB)
+    # Everything is affordable on a free network.
+    assert CostAwarePolicy(FREE).approves_fetch(0, 100 * MB)
+
+
+def test_aging_stretch_on_per_byte_tariffs():
+    free = CostAwarePolicy(FREE)
+    paid = CostAwarePolicy(CELLULAR)
+    assert free.effective_aging_window(600) == 600
+    assert paid.effective_aging_window(600) > 600
+    capped = CostAwarePolicy(NetworkTariff("x", per_mb=1000.0))
+    assert capped.effective_aging_window(600) <= 600 * 8.0
+
+
+def test_per_minute_tariff_prefers_fast_drain():
+    assert CostAwarePolicy(LONG_DISTANCE).prefers_fast_drain
+    assert not CostAwarePolicy(CELLULAR).prefers_fast_drain
+    assert not CostAwarePolicy(FREE).prefers_fast_drain
+
+
+def test_ledger_accounting():
+    ledger = CostLedger(NetworkTariff("t", per_mb=1.0, per_minute=0.6))
+    ledger.add_bytes(2 * MB)
+    ledger.add_connected_time(120.0)
+    assert ledger.total_cost == pytest.approx(2.0 + 1.2)
+
+
+# ------------------------------------------------ cost-aware Venus
+
+def test_expensive_network_refuses_affordable_in_time_fetch():
+    config = VenusConfig(start_daemons=False, tariff=CELLULAR)
+    testbed = build_testbed(profile=MODEM, venus_config=config)
+    connected(testbed)
+    venus = testbed.venus
+    entry = testbed.run(venus.stat(M + "/dir/b.txt"))
+    venus.cache.remove(entry.fid)
+    # 12 KB at priority 900: seconds of wait (fine), ~3 cents (fine).
+    venus.hoard(M + "/dir/b.txt", 900)
+    testbed.run(venus.read_file(M + "/dir/b.txt"))
+    # But at priority 0 a 400 KB file costs ~$1 — refused for cost,
+    # even though a very patient free-network user might wait.
+    entry = testbed.run(venus.stat(M + "/dir/big.bin"))
+    venus.cache.remove(entry.fid)
+    venus.patience.alpha = 10_000.0     # infinitely patient in *time*
+    with pytest.raises(CacheMissError):
+        testbed.run(venus.read_file(M + "/dir/big.bin"))
+    assert venus.misses.peek()[-1].reason == "cost"
+
+
+def test_per_minute_tariff_drains_promptly():
+    config = VenusConfig(tariff=LONG_DISTANCE, aging_window=3600.0,
+                         daemon_period=5.0)
+    testbed = build_testbed(profile=MODEM, venus_config=config)
+    connected(testbed)
+    venus = testbed.venus
+    testbed.run(venus.write_file(M + "/dir/letter.txt", b"x" * 4_000))
+    # Despite the one-hour configured window, the per-minute tariff
+    # drives A to zero: the update ships within a daemon period or two.
+    testbed.sim.run(until=testbed.sim.now + 60.0)
+    assert len(venus.cml) == 0
+
+
+def test_network_cost_tracks_connection_and_bytes():
+    config = VenusConfig(tariff=LONG_DISTANCE, start_daemons=False)
+    testbed = build_testbed(profile=MODEM, venus_config=config)
+    connected(testbed)
+    venus = testbed.venus
+    testbed.sim.run(until=testbed.sim.now + 600.0)
+    cost = venus.network_cost()
+    # Ten minutes of long distance at $0.12/min.
+    assert cost == pytest.approx(1.2, rel=0.15)
+
+
+# ---------------------------------------------- subtree reintegration
+
+def subtree_testbed():
+    tree = {
+        M + "/projA": ("dir", 0),
+        M + "/projA/doc.txt": ("file", 1_000),
+        M + "/projB": ("dir", 0),
+        M + "/projB/data.bin": ("file", 1_000),
+    }
+    config = VenusConfig(aging_window=3600.0, daemon_period=5.0)
+    testbed = build_testbed(profile=MODEM, tree=tree,
+                            venus_config=config)
+    connected(testbed)
+    assert testbed.venus.state.state is VenusState.WRITE_DISCONNECTED
+    return testbed
+
+
+def on_server(testbed, dirname, name):
+    d = testbed.volume.require(testbed.volume.root.lookup(dirname))
+    return d.lookup(name) is not None
+
+
+def test_sync_subtree_ships_only_that_subtree():
+    testbed = subtree_testbed()
+    venus = testbed.venus
+    testbed.run(venus.write_file(M + "/projA/doc.txt", b"a" * 3_000))
+    testbed.run(venus.write_file(M + "/projB/data.bin", b"b" * 3_000))
+    assert len(venus.cml) == 2
+    ok = testbed.run(venus.sync_subtree(M + "/projA"))
+    assert ok
+    # projA's update reached the server; projB's still waits its turn.
+    docs = testbed.volume.require(testbed.volume.require(
+        testbed.volume.root.lookup("projA")).lookup("doc.txt"))
+    assert docs.content.size == 3_000
+    assert len(venus.cml) == 1
+    assert venus.cml.records[0].fid.volume == testbed.volume.volid
+
+
+def test_sync_subtree_includes_antecedent_creates():
+    testbed = subtree_testbed()
+    venus = testbed.venus
+    testbed.run(venus.mkdir(M + "/projA/sub"))
+    testbed.run(venus.write_file(M + "/projA/sub/new.txt", b"n" * 2_000))
+    testbed.run(venus.write_file(M + "/projB/data.bin", b"b" * 500))
+    ok = testbed.run(venus.sync_subtree(M + "/projA/sub"))
+    assert ok
+    assert on_server(testbed, "projA", "sub")
+    # The store for new.txt needed its create and the mkdir first;
+    # the closure shipped all three together.
+    sub = testbed.volume.require(testbed.volume.require(
+        testbed.volume.root.lookup("projA")).lookup("sub"))
+    assert sub.lookup("new.txt") is not None
+    # projB untouched.
+    assert len(venus.cml) == 1
+
+
+def test_sync_subtree_with_nothing_logged_is_noop():
+    testbed = subtree_testbed()
+    assert testbed.run(testbed.venus.sync_subtree(M + "/projA"))
+
+
+def test_freeze_records_rejects_unclosed_set():
+    from repro.fs import Fid
+    from repro.venus.cml import ClientModifyLog, CmlOp, CmlRecord
+    cml = ClientModifyLog()
+    fid = Fid(1, 5, 5)
+    first = CmlRecord(op=CmlOp.CREATE, fid=fid, parent=Fid(1, 1, 1),
+                      name="f")
+    second = CmlRecord(op=CmlOp.STORE, fid=fid,
+                       content=SyntheticContent(10))
+    cml.append(first, 0.0)
+    cml.append(second, 1.0)
+    with pytest.raises(ValueError, match="dependency"):
+        cml.freeze_records([second])   # store without its create
+    cml.freeze_records([first, second])

@@ -1,0 +1,60 @@
+"""The user patience model."""
+
+import math
+
+import pytest
+
+from repro.core import PatienceModel
+
+
+def test_paper_parameters_are_default():
+    model = PatienceModel()
+    assert model.alpha == 2.0
+    assert model.beta == 1.0
+    assert model.gamma == 0.01
+
+
+def test_alpha_is_the_floor():
+    """Even an unimportant object earns a short wait."""
+    model = PatienceModel()
+    assert model.threshold(0) == pytest.approx(3.0)   # alpha + beta
+    assert model.approves(0, 2.5)
+    assert not model.approves(0, 3.5)
+
+
+def test_threshold_grows_exponentially():
+    model = PatienceModel()
+    assert model.threshold(100) == pytest.approx(2 + math.e)
+    assert model.threshold(900) == pytest.approx(2 + math.exp(9))
+    # Monotone in priority.
+    values = [model.threshold(p) for p in range(0, 1000, 50)]
+    assert values == sorted(values)
+
+
+def test_figure7_size_conversion():
+    """60 s at 64 Kb/s = 480 KB (the paper's worked example)."""
+    model = PatienceModel(alpha=0.0, beta=60.0, gamma=0.0)
+    assert model.max_file_bytes(0, 64_000) == pytest.approx(480_000)
+
+
+def test_curve_shape():
+    model = PatienceModel()
+    curve = model.curve([0, 500, 1000], 9_600)
+    assert [p for p, _s in curve] == [0, 500, 1000]
+    sizes = [s for _p, s in curve]
+    assert sizes == sorted(sizes)
+
+
+def test_priority_needed_inverts_threshold():
+    model = PatienceModel()
+    for wait in (1.0, 10.0, 100.0, 1000.0):
+        priority = model.priority_needed(wait)
+        assert model.approves(priority, wait)
+        if priority > 0:
+            assert not model.approves(priority - 1, wait)
+
+
+def test_higher_bandwidth_admits_larger_files():
+    model = PatienceModel()
+    assert model.max_file_bytes(500, 2_000_000) \
+        > model.max_file_bytes(500, 9_600)

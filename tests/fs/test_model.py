@@ -1,0 +1,190 @@
+"""FIDs, contents, vnodes, volumes, and the namespace."""
+
+import pytest
+
+from repro.fs import (
+    ByteContent,
+    Content,
+    Fid,
+    ObjectType,
+    SyntheticContent,
+    Vnode,
+    Volume,
+    VolumeRegistry,
+    split_path,
+)
+
+
+# ---------------------------------------------------------------- fids
+
+def test_fid_identity_and_ordering():
+    a = Fid(1, 2, 3)
+    assert a == Fid(1, 2, 3)
+    assert a != Fid(1, 2, 4)
+    assert Fid(1, 1, 1) < Fid(1, 2, 0)
+    assert len({Fid(1, 2, 3), Fid(1, 2, 3)}) == 1
+
+
+def test_fid_str():
+    assert str(Fid(255, 16, 1)) == "ff.10.1"
+
+
+# ------------------------------------------------------------- content
+
+def test_byte_content_roundtrip():
+    content = Content.of(b"hello")
+    assert isinstance(content, ByteContent)
+    assert content.size == 5
+    assert content == Content.of(b"hello")
+    assert content != Content.of(b"world")
+
+
+def test_str_coerces_to_bytes():
+    assert Content.of("abc").size == 3
+
+
+def test_int_coerces_to_synthetic():
+    content = Content.of(1_000_000)
+    assert isinstance(content, SyntheticContent)
+    assert content.size == 1_000_000
+
+
+def test_synthetic_contents_distinct_by_default():
+    assert SyntheticContent(10) != SyntheticContent(10)
+
+
+def test_synthetic_contents_equal_with_same_tag():
+    assert SyntheticContent(10, tag="x") == SyntheticContent(10, tag="x")
+    assert SyntheticContent(10, tag="x") != SyntheticContent(11, tag="x")
+
+
+def test_content_of_rejects_other_types():
+    with pytest.raises(TypeError):
+        Content.of(3.14)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        SyntheticContent(-1)
+
+
+# -------------------------------------------------------------- vnodes
+
+def test_file_vnode_length_tracks_content():
+    vnode = Vnode(Fid(1, 1, 1), ObjectType.FILE,
+                  content=Content.of(b"12345"))
+    assert vnode.length == 5
+    assert vnode.is_file() and not vnode.is_dir()
+
+
+def test_directory_lookup():
+    directory = Vnode(Fid(1, 1, 1), ObjectType.DIRECTORY)
+    child = Fid(1, 2, 2)
+    directory.children["kid"] = child
+    assert directory.lookup("kid") == child
+    assert directory.lookup("ghost") is None
+
+
+def test_lookup_on_file_raises():
+    vnode = Vnode(Fid(1, 1, 1), ObjectType.FILE)
+    with pytest.raises(NotADirectoryError):
+        vnode.lookup("x")
+
+
+def test_status_block():
+    vnode = Vnode(Fid(1, 1, 1), ObjectType.FILE, content=Content.of(b"xy"))
+    status = vnode.status()
+    assert status.fid == vnode.fid
+    assert status.length == 2
+    assert status.version == 1
+    assert status.wire_size == 100   # "about 100 bytes long"
+
+
+def test_clone_is_independent():
+    directory = Vnode(Fid(1, 1, 1), ObjectType.DIRECTORY)
+    directory.children["a"] = Fid(1, 2, 2)
+    twin = directory.clone()
+    twin.children["b"] = Fid(1, 3, 3)
+    assert "b" not in directory.children
+    assert twin.version == directory.version
+
+
+# ------------------------------------------------------------- volumes
+
+def test_volume_has_root_directory():
+    volume = Volume(7, "u.alice")
+    assert volume.root.is_dir()
+    assert volume.get(volume.root_fid) is volume.root
+    assert volume.stamp == 1
+
+
+def test_bump_increments_object_and_volume_stamps():
+    volume = Volume(7, "u.alice")
+    vnode = Vnode(volume.alloc_fid(), ObjectType.FILE)
+    volume.add(vnode)
+    before = (vnode.version, volume.stamp)
+    volume.bump(vnode, mtime=9.0)
+    assert vnode.version == before[0] + 1
+    assert volume.stamp == before[1] + 1
+    assert vnode.mtime == 9.0
+
+
+def test_alloc_fid_unique():
+    volume = Volume(7, "v")
+    fids = {volume.alloc_fid() for _ in range(100)}
+    assert len(fids) == 100
+    assert all(fid.volume == 7 for fid in fids)
+
+
+def test_add_foreign_fid_rejected():
+    volume = Volume(7, "v")
+    with pytest.raises(ValueError):
+        volume.add(Vnode(Fid(8, 1, 1), ObjectType.FILE))
+
+
+def test_require_raises_for_missing():
+    volume = Volume(7, "v")
+    with pytest.raises(KeyError):
+        volume.require(Fid(7, 99, 99))
+
+
+# ----------------------------------------------------------- namespace
+
+def test_split_path_normalizes():
+    assert split_path("/coda//usr/alice/") == ["coda", "usr", "alice"]
+    assert split_path("") == []
+
+
+def test_registry_longest_prefix_wins():
+    registry = VolumeRegistry()
+    outer = Volume(1, "outer")
+    inner = Volume(2, "inner")
+    registry.mount("/coda", outer)
+    registry.mount("/coda/usr/alice", inner)
+    volume, rest = registry.resolve_prefix("/coda/usr/alice/doc.txt")
+    assert volume is inner and rest == ["doc.txt"]
+    volume, rest = registry.resolve_prefix("/coda/misc/x")
+    assert volume is outer and rest == ["misc", "x"]
+
+
+def test_registry_no_mount_raises():
+    registry = VolumeRegistry()
+    with pytest.raises(FileNotFoundError):
+        registry.resolve_prefix("/elsewhere")
+
+
+def test_registry_duplicate_mount_rejected():
+    registry = VolumeRegistry()
+    registry.mount("/coda", Volume(1, "v"))
+    with pytest.raises(ValueError):
+        registry.mount("/coda", Volume(2, "w"))
+
+
+def test_registry_by_id_and_mount_of():
+    registry = VolumeRegistry()
+    volume = Volume(5, "v")
+    registry.mount("/coda/v", volume)
+    assert registry.by_id(5) is volume
+    assert registry.mount_of(volume) == ("coda", "v")
+    with pytest.raises(KeyError):
+        registry.by_id(6)

@@ -1,0 +1,27 @@
+"""End-to-end determinism: the foundation of every benchmark claim."""
+
+from repro.bench.replay import run_replay_cell
+from repro.net import MODEM
+from repro.trace import segment_by_name
+
+
+def test_identical_replay_cells_are_bit_identical():
+    segment = segment_by_name("purcell")
+    a = run_replay_cell(segment, MODEM, 600.0, 1.0)
+    b = run_replay_cell(segment, MODEM, 600.0, 1.0)
+    assert a.elapsed == b.elapsed
+    assert a.begin_cml_kb == b.begin_cml_kb
+    assert a.end_cml_kb == b.end_cml_kb
+    assert a.shipped_kb == b.shipped_kb
+    assert a.optimized_kb == b.optimized_kb
+
+
+def test_fleet_study_deterministic():
+    from repro.bench.fleet import FleetConfig, run_fleet_study
+    config = FleetConfig(desktops=2, laptops=2, days=1.0)
+    a_desk, a_lap = run_fleet_study(config)
+    b_desk, b_lap = run_fleet_study(config)
+    assert [(r.name, r.attempts, r.missing_pct, r.success_pct)
+            for r in a_desk + a_lap] \
+        == [(r.name, r.attempts, r.missing_pct, r.success_pct)
+            for r in b_desk + b_lap]

@@ -1,0 +1,144 @@
+"""Link model: serialization, latency, contention, loss, outages."""
+
+import random
+
+import pytest
+
+from repro.net import Datagram, Link
+
+
+def mk_link(sim, bandwidth=8000.0, latency=0.0, loss=0.0,
+            bits_per_byte=8, deliver=None, seed=0):
+    return Link(sim, "a", "b", bandwidth_bps=bandwidth, latency=latency,
+                loss_rate=loss, bits_per_byte=bits_per_byte,
+                rng=random.Random(seed), deliver=deliver)
+
+
+def dg(size, src="a", dst="b"):
+    return Datagram(src=src, src_port=1, dst=dst, dst_port=2,
+                    payload=None, size=size)
+
+
+def test_serialization_delay(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0,
+                   deliver=lambda d: arrived.append(sim.now))
+    link.send(dg(1000))   # 1000 B * 8 b / 8000 b/s = 1 s
+    sim.run()
+    assert arrived == [1.0]
+
+
+def test_latency_adds_after_serialization(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0, latency=0.25,
+                   deliver=lambda d: arrived.append(sim.now))
+    link.send(dg(1000))
+    sim.run()
+    assert arrived == [1.25]
+
+
+def test_async_serial_framing_costs_ten_bits(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=9600.0, bits_per_byte=10,
+                   deliver=lambda d: arrived.append(sim.now))
+    link.send(dg(960))    # 960 B * 10 b / 9600 b/s = 1 s
+    sim.run()
+    assert arrived == [1.0]
+
+
+def test_fifo_contention_queues_packets(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0,
+                   deliver=lambda d: arrived.append((d.ident, sim.now)))
+    first, second = dg(1000), dg(1000)
+    link.send(first)
+    link.send(second)     # must wait for the first to leave the wire
+    sim.run()
+    assert [t for _i, t in arrived] == [1.0, 2.0]
+
+
+def test_directions_do_not_contend(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0,
+                   deliver=lambda d: arrived.append((d.dst, sim.now)))
+    link.send(dg(1000, src="a", dst="b"))
+    link.send(dg(1000, src="b", dst="a"))
+    sim.run()
+    assert sorted(arrived) == [("a", 1.0), ("b", 1.0)]
+
+
+def test_loss_drops_packets_deterministically(sim):
+    arrived = []
+    link = mk_link(sim, loss=0.5, seed=42,
+                   deliver=lambda d: arrived.append(d.ident))
+    for _ in range(100):
+        link.send(dg(10))
+    sim.run()
+    assert 25 < len(arrived) < 75
+    stats = link.stats()
+    assert stats.packets_lost + stats.packets_delivered == 100
+
+
+def test_down_link_drops_everything(sim):
+    arrived = []
+    link = mk_link(sim, deliver=lambda d: arrived.append(d))
+    link.set_up(False)
+    link.send(dg(10))
+    sim.run()
+    assert arrived == []
+    assert link.stats().packets_dropped_down == 1
+
+
+def test_packet_in_flight_lost_when_link_drops(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0,
+                   deliver=lambda d: arrived.append(d))
+    link.send(dg(1000))   # arrives at t=1 if the link stays up
+
+    def chop():
+        yield sim.timeout(0.5)
+        link.set_up(False)
+
+    sim.process(chop())
+    sim.run()
+    assert arrived == []
+
+
+def test_outage_schedule(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=80_000.0,
+                   deliver=lambda d: arrived.append(sim.now))
+    link.outage(after=1.0, duration=2.0)
+
+    def sender():
+        link.send(dg(10))          # t=0: up, delivered
+        yield sim.timeout(2.0)     # t=2: down
+        link.send(dg(10))
+        yield sim.timeout(2.0)     # t=4: up again
+        link.send(dg(10))
+
+    sim.process(sender())
+    sim.run()
+    assert len(arrived) == 2
+
+
+def test_set_bandwidth_on_the_fly(sim):
+    arrived = []
+    link = mk_link(sim, bandwidth=8000.0,
+                   deliver=lambda d: arrived.append(sim.now))
+    link.set_bandwidth(80_000.0)
+    link.send(dg(1000))
+    sim.run()
+    assert arrived == [0.1]
+
+
+def test_direction_lookup_rejects_stranger(sim):
+    link = mk_link(sim)
+    with pytest.raises(ValueError):
+        link.direction("marauder")
+
+
+def test_zero_size_datagram_rejected():
+    with pytest.raises(ValueError):
+        Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                 payload=None, size=0)

@@ -1,0 +1,81 @@
+"""Network routing and sockets."""
+
+import pytest
+
+from repro.net import ETHERNET, Network
+
+
+def make_net(sim):
+    net = Network(sim)
+    net.add_link("client", "server", profile=ETHERNET)
+    return net
+
+
+def test_socket_send_receive(sim):
+    net = make_net(sim)
+    a = net.socket("client", 10)
+    b = net.socket("server", 20)
+
+    def receiver():
+        datagram = yield b.recv()
+        return (datagram.payload, datagram.src, datagram.src_port)
+
+    proc = sim.process(receiver())
+    a.send("server", 20, {"hello": 1}, size=100)
+    assert sim.run(proc) == ({"hello": 1}, "client", 10)
+
+
+def test_no_route_drops_silently(sim):
+    net = make_net(sim)
+    a = net.socket("client", 10)
+    a.send("mars", 20, "x", size=10)
+    sim.run()  # nothing raised, nothing delivered
+
+
+def test_unbound_port_drops(sim):
+    net = make_net(sim)
+    a = net.socket("client", 10)
+    a.send("server", 99, "x", size=10)
+    sim.run()
+
+
+def test_duplicate_bind_rejected(sim):
+    net = make_net(sim)
+    net.socket("client", 10)
+    with pytest.raises(ValueError):
+        net.socket("client", 10)
+
+
+def test_closed_socket_rejects_send_and_drops_arrivals(sim):
+    net = make_net(sim)
+    a = net.socket("client", 10)
+    b = net.socket("server", 20)
+    b.close()
+    a.send("server", 20, "x", size=10)
+    sim.run()
+    assert b.pending() == 0
+    with pytest.raises(RuntimeError):
+        b.send("client", 10, "x", size=10)
+
+
+def test_port_reusable_after_close(sim):
+    net = make_net(sim)
+    net.socket("client", 10).close()
+    net.socket("client", 10)
+
+
+def test_link_between_lookup(sim):
+    net = make_net(sim)
+    assert net.link_between("client", "server") is not None
+    assert net.link_between("server", "client") is not None
+    assert net.link_between("client", "mars") is None
+
+
+def test_pending_counts_undrained_datagrams(sim):
+    net = make_net(sim)
+    a = net.socket("client", 10)
+    b = net.socket("server", 20)
+    a.send("server", 20, "one", size=10)
+    a.send("server", 20, "two", size=10)
+    sim.run()
+    assert b.pending() == 2

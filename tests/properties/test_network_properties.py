@@ -1,0 +1,93 @@
+"""Property-based tests on the network and transport substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Datagram, Link
+from repro.sim import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=10_000),
+                min_size=1, max_size=20),
+       st.floats(min_value=1_000.0, max_value=1e7),
+       st.floats(min_value=0.0, max_value=0.5))
+def test_fifo_links_never_reorder(sizes, bandwidth, latency):
+    """A FIFO link delivers packets in send order, whatever the mix."""
+    sim = Simulator()
+    arrived = []
+    import random
+    link = Link(sim, "a", "b", bandwidth_bps=bandwidth, latency=latency,
+                rng=random.Random(0),
+                deliver=lambda d: arrived.append(d.ident))
+    sent = []
+    for size in sizes:
+        datagram = Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                            payload=None, size=size)
+        sent.append(datagram.ident)
+        link.send(datagram)
+    sim.run()
+    assert arrived == sent
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=10_000),
+                min_size=1, max_size=20),
+       st.floats(min_value=1_000.0, max_value=1e7))
+def test_link_throughput_never_exceeds_bandwidth(sizes, bandwidth):
+    sim = Simulator()
+    done = {}
+    import random
+    link = Link(sim, "a", "b", bandwidth_bps=bandwidth, latency=0.0,
+                rng=random.Random(0),
+                deliver=lambda d: done.setdefault("t", sim.now))
+    total = sum(sizes)
+    for size in sizes:
+        link.send(Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                           payload=None, size=size))
+    sim.run()
+    minimum = total * 8.0 / bandwidth
+    assert sim.now >= minimum * 0.999
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31),
+       st.floats(min_value=0.0, max_value=0.9))
+def test_loss_statistics_conserve_packets(seed, loss):
+    sim = Simulator()
+    delivered = []
+    import random
+    link = Link(sim, "a", "b", bandwidth_bps=1e6, loss_rate=loss,
+                rng=random.Random(seed),
+                deliver=lambda d: delivered.append(d))
+    n = 200
+    for _ in range(n):
+        link.send(Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                           payload=None, size=100))
+    sim.run()
+    stats = link.forward.stats
+    assert stats.packets_sent == n
+    assert stats.packets_lost + stats.packets_delivered == n
+    assert stats.packets_delivered == len(delivered)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=500_000),
+       st.sampled_from([9_600.0, 64_000.0, 2e6, 10e6]),
+       st.floats(min_value=0.0, max_value=0.05))
+def test_sftp_delivers_exact_byte_counts(nbytes, bandwidth, loss):
+    """Whatever the link, a completed Store delivers exactly its bytes."""
+    from repro.net import Network
+    from repro.net.host import IDEAL
+    from repro.rpc2 import Rpc2Endpoint
+    from repro.sim import RandomStreams
+    sim = Simulator()
+    net = Network(sim, rng=RandomStreams(nbytes).stream("net"))
+    net.add_link("c", "s", bandwidth_bps=bandwidth, loss_rate=loss)
+    client = Rpc2Endpoint(sim, net, "c", 2432, IDEAL,
+                          default_bps=bandwidth)
+    server = Rpc2Endpoint(sim, net, "s", 2432, IDEAL,
+                          default_bps=bandwidth)
+    server.register("Store", lambda ctx, args: {"got": ctx.received_bytes})
+    conn = client.connect("s")
+    result = sim.run(conn.call("Store", {}, send_size=nbytes))
+    assert result.result["got"] == nbytes

@@ -1,0 +1,140 @@
+"""Kernel semantics: ordering, time, run-until."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import UnhandledFailure
+
+
+def test_time_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_time(sim):
+    log = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [5.0, 7.5]
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        def proc(d=delay):
+            yield sim.timeout(d)
+            order.append(d)
+        sim.process(proc())
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_fifo_among_simultaneous_events(sim):
+    order = []
+    for tag in range(5):
+        def proc(t=tag):
+            yield sim.timeout(1.0)
+            order.append(t)
+        sim.process(proc())
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_time_stops_early(sim):
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_event_returns_value(sim):
+    def proc():
+        yield sim.timeout(2.0)
+        return "done"
+
+    result = sim.run(sim.process(proc()))
+    assert result == "done"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_raises_failure(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(sim.process(proc()))
+
+
+def test_run_dry_before_event_raises(sim):
+    never = sim.event()
+    with pytest.raises(RuntimeError, match="ran dry"):
+        sim.run(never)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_peek_shows_next_event_time(sim):
+    assert sim.peek() is None
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_unhandled_process_failure_surfaces(sim):
+    def proc():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unseen")
+
+    sim.process(proc())
+    with pytest.raises(UnhandledFailure):
+        sim.run()
+
+
+def test_nested_processes_return_values(sim):
+    def inner():
+        yield sim.timeout(1.0)
+        return 42
+
+    def outer():
+        value = yield sim.process(inner())
+        return value + 1
+
+    assert sim.run(sim.process(outer())) == 43
+
+
+def test_yield_from_chains_through_generators(sim):
+    def helper():
+        yield sim.timeout(2.0)
+        return "deep"
+
+    def outer():
+        value = yield from helper()
+        return value
+
+    assert sim.run(sim.process(outer())) == "deep"
+    assert sim.now == 2.0
+
+
+def test_process_yielding_non_event_fails(sim):
+    def proc():
+        yield 42
+
+    with pytest.raises(RuntimeError, match="not an Event"):
+        sim.run(sim.process(proc()))

@@ -1,0 +1,90 @@
+"""Trace export/import round-trips."""
+
+import io
+
+import pytest
+
+from repro.trace.generate import SegmentSpec, generate_segment
+from repro.trace.io import dump_trace, load_trace, read_trace, save_trace
+from repro.trace.records import TraceOp, TraceRecord, TraceSegment
+from repro.trace.simulator import CmlSimulator
+
+
+def small_segment():
+    spec = SegmentSpec(name="io test", seed=3, duration=300.0,
+                       target_references=800, oneshot_writes=10,
+                       n_source_files=20, hot_files=2,
+                       edit_writes_per_file=3, churn_triples=2,
+                       pauses_big=2, pauses_med=4)
+    return generate_segment(spec)
+
+
+def roundtrip(segment):
+    buffer = io.StringIO()
+    dump_trace(segment, buffer)
+    buffer.seek(0)
+    return load_trace(buffer)
+
+
+def test_roundtrip_preserves_everything():
+    original = small_segment()
+    loaded = roundtrip(original)
+    assert loaded.name == original.name
+    assert loaded.duration == original.duration
+    assert loaded.tree == original.tree
+    assert len(loaded.records) == len(original.records)
+    for a, b in zip(original.records, loaded.records):
+        assert (a.time, a.op, a.path, a.size, a.to_path, a.target,
+                a.program) == (b.time, b.op, b.path, b.size, b.to_path,
+                               b.target, b.program)
+
+
+def test_roundtrip_preserves_simulation_results():
+    original = small_segment()
+    loaded = roundtrip(original)
+    a = CmlSimulator(aging_window=120.0).run(original)
+    b = CmlSimulator(aging_window=120.0).run(loaded)
+    assert (a.appended_bytes, a.optimized_bytes, a.final_cml_bytes) \
+        == (b.appended_bytes, b.optimized_bytes, b.final_cml_bytes)
+
+
+def test_rename_and_symlink_fields_roundtrip():
+    segment = TraceSegment(
+        name="ops", duration=10.0, tree={"/coda/x/d": ("dir", 0)},
+        records=[
+            TraceRecord(time=1.0, op=TraceOp.RENAME, path="/coda/x/a",
+                        to_path="/coda/x/b", program="mv"),
+            TraceRecord(time=2.0, op=TraceOp.SYMLINK, path="/coda/x/l",
+                        target="b"),
+        ])
+    loaded = roundtrip(segment)
+    assert loaded.records[0].to_path == "/coda/x/b"
+    assert loaded.records[1].target == "b"
+
+
+def test_spaces_in_paths_survive():
+    segment = TraceSegment(
+        name="with space", duration=5.0,
+        tree={"/coda/x/My Documents": ("dir", 0)},
+        records=[TraceRecord(time=0.5, op=TraceOp.STAT,
+                             path="/coda/x/My Documents",
+                             program="file manager")])
+    loaded = roundtrip(segment)
+    assert loaded.name == "with space"
+    assert "/coda/x/My Documents" in loaded.tree
+    assert loaded.records[0].program == "file manager"
+
+
+def test_file_roundtrip(tmp_path):
+    segment = small_segment()
+    target = tmp_path / "trace.txt"
+    save_trace(segment, str(target))
+    loaded = read_trace(str(target))
+    assert loaded.references == segment.references
+
+
+def test_rejects_foreign_files():
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO("not a trace\n"))
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO("#repro-trace 1\nX bogus line\n"))
