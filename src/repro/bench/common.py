@@ -28,6 +28,7 @@ class Testbed:
     link: object
     server: object
     venus: object
+    obs: object = None
 
     def run(self, generator):
         """Run a generator as a process to completion; returns its value."""
@@ -36,9 +37,17 @@ class Testbed:
 
 def make_testbed(profile, venus_config=None, user=None, seed=0,
                  loss_rate=None, client_host=LAPTOP_1995,
-                 server_host=SERVER_1995):
-    """One client, one server, one link of the given profile."""
+                 server_host=SERVER_1995, observatory=None):
+    """One client, one server, one link of the given profile.
+
+    ``observatory`` optionally attaches a :class:`repro.obs.Observatory`
+    to the simulator before any component is built, so every
+    instrumentation site sees it.  Left as None, the simulator keeps its
+    no-op observer and runs are byte-identical to uninstrumented ones.
+    """
     sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
     streams = RandomStreams(seed)
     net = Network(sim, rng=streams.stream("net"))
     overrides = {}
@@ -48,7 +57,8 @@ def make_testbed(profile, venus_config=None, user=None, seed=0,
     server = CodaServer(sim, net, SERVER, server_host)
     venus = Venus(sim, net, CLIENT, SERVER, client_host,
                   config=venus_config, user=user)
-    return Testbed(sim=sim, net=net, link=link, server=server, venus=venus)
+    return Testbed(sim=sim, net=net, link=link, server=server, venus=venus,
+                   obs=observatory)
 
 
 def populate_volume(server, mount_prefix, tree, volume_name=None):

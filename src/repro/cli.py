@@ -12,6 +12,7 @@
     python -m repro replay --segment purcell --aging 600 --think 1
     python -m repro ablations            # the design-choice sweeps
     python -m repro trace-export --segment holst --out holst.trace
+    python -m repro obs --scenario trickle --out trickle.jsonl
 """
 
 import argparse
@@ -114,6 +115,33 @@ def _cmd_trace_export(args):
           % (args.out, segment.references, segment.updates))
 
 
+def _cmd_obs(args):
+    from repro.obs import Observatory, report
+    from repro.obs.export import (write_events_csv, write_events_jsonl,
+                                  write_metrics_csv, write_metrics_jsonl)
+    from repro.obs.scenarios import run_scenario
+
+    observatory = Observatory()
+    try:
+        run_scenario(args.scenario, observatory=observatory)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        write_events_jsonl(observatory.trace.events, args.out)
+        print("wrote %d events to %s"
+              % (len(observatory.trace.events), args.out))
+    if args.events_csv:
+        write_events_csv(observatory.trace.events, args.events_csv)
+        print("wrote %s" % args.events_csv)
+    if args.metrics_out:
+        write_metrics_jsonl(observatory.metrics, args.metrics_out)
+        print("wrote %s" % args.metrics_out)
+    if args.metrics_csv:
+        write_metrics_csv(observatory.metrics, args.metrics_csv)
+        print("wrote %s" % args.metrics_csv)
+    print(report.summary(observatory))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +188,20 @@ def build_parser():
     p.add_argument("--segment", default="purcell")
     p.add_argument("--out", required=True)
     p.set_defaults(fn=_cmd_trace_export)
+
+    p = sub.add_parser(
+        "obs", help="run an instrumented scenario; dump timeline + summary")
+    p.add_argument("--scenario", default="trickle",
+                   help="trickle|outage (default: trickle)")
+    p.add_argument("--out", default=None,
+                   help="write the event timeline as JSONL")
+    p.add_argument("--events-csv", default=None,
+                   help="also write the timeline as CSV")
+    p.add_argument("--metrics-out", default=None,
+                   help="write final metrics as JSONL")
+    p.add_argument("--metrics-csv", default=None,
+                   help="write final metrics as CSV")
+    p.set_defaults(fn=_cmd_obs)
 
     return parser
 

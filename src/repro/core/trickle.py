@@ -212,6 +212,15 @@ class TrickleReintegrator:
             self._fragment_progress[record.seqno] = index + 1
             self.stats.fragments_shipped += 1
             self.stats.bytes_shipped += nbytes
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.metrics.counter("reintegration.fragments",
+                                    node=self.venus.node).inc()
+                obs.metrics.counter("reintegration.fragment_bytes",
+                                    node=self.venus.node).inc(nbytes)
+                obs.event("fragment", node=self.venus.node,
+                          seqno=record.seqno, index=index, total=total,
+                          bytes=nbytes)
             # Between fragments, defer to foreground activity.
             while self.venus.foreground_ops > 0 and not self._draining:
                 yield self.sim.timeout(1.0)
@@ -233,12 +242,13 @@ class TrickleReintegrator:
             records = cml.commit_frozen()
             self.stats.chunks_committed += 1
             self.stats.records_shipped += len(records)
-            self.stats.bytes_shipped += (
-                inline_bytes + RECORD_OVERHEAD * len(records))
+            shipped = inline_bytes + RECORD_OVERHEAD * len(records)
+            self.stats.bytes_shipped += shipped
             for record in records:
                 self._fragment_progress.pop(record.seqno, None)
             venus.on_reintegration_success(
                 records, outcome["new_versions"], outcome["volume_stamps"])
+            self._observe_chunk("committed", len(records), shipped)
         elif outcome["status"] == "conflict":
             conflicted_seqnos = {seqno for seqno, _ in outcome["conflicts"]}
             reasons = dict(outcome["conflicts"])
@@ -248,12 +258,32 @@ class TrickleReintegrator:
             cml.discard(doomed)
             venus.on_reintegration_conflict(
                 [(record, reasons[record.seqno]) for record in doomed])
+            self._observe_chunk("conflict", len(chunk), inline_bytes,
+                                conflicts=len(doomed))
         elif outcome["status"] == "missing_data":
             # The server lost fragments; forget our progress and let the
             # next pass re-ship them.
             for seqno in outcome["missing"]:
                 self._fragment_progress.pop(seqno, None)
             cml.abort_frozen()
+            self._observe_chunk("missing_data", len(chunk), 0)
         else:
             raise AssertionError("unknown reintegration status %r"
                                  % (outcome,))
+
+    def _observe_chunk(self, status, records, shipped_bytes, **extra):
+        """Record one concluded reintegration chunk."""
+        obs = self.sim.obs
+        if not obs.enabled:
+            return
+        venus = self.venus
+        obs.metrics.counter("reintegration.chunks", node=venus.node,
+                            status=status).inc()
+        obs.metrics.counter("reintegration.records",
+                            node=venus.node).inc(records)
+        obs.metrics.counter("reintegration.bytes",
+                            node=venus.node).inc(shipped_bytes)
+        obs.event("reintegration_chunk", node=venus.node, status=status,
+                  records=records, bytes=shipped_bytes,
+                  cml_records=len(venus.cml),
+                  cml_bytes=venus.cml.size_bytes, **extra)

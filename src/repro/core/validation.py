@@ -70,6 +70,20 @@ class RapidValidator:
         self.per_object_cpu = per_object_cpu
         self.stats = ValidationStats()
 
+    def _observe_rpc(self, kind, objects, **extra):
+        """Record one validation RPC (volume-stamp or per-object batch)."""
+        obs = self.sim.obs
+        if not obs.enabled:
+            return
+        node = self.conn.endpoint.node
+        obs.metrics.counter("validation.rpcs", node=node, kind=kind).inc()
+        if kind == "volume":
+            obs.metrics.counter("validation.volumes", node=node).inc(objects)
+        else:
+            obs.metrics.counter("validation.objects", node=node).inc(objects)
+        obs.event("validation_rpc", node=node, scope=kind,
+                  objects=objects, **extra)
+
     def _charge_cpu(self, n_objects):
         cost = self.per_object_cpu * n_objects
         if cost <= 0:
@@ -109,6 +123,10 @@ class RapidValidator:
                 result = yield self.conn.call(
                     "ValidateVolumes", {"stamps": stamps},
                     args_size=8 + FID_VERSION_BYTES * len(stamps))
+                valid_count = sum(
+                    1 for valid, _ in result.result["results"].values()
+                    if valid)
+                self._observe_rpc("volume", len(stamps), valid=valid_count)
                 for volid, (valid, stamp) in result.result["results"].items():
                     info = self.cache.volume_info(volid)
                     if valid:
@@ -136,6 +154,7 @@ class RapidValidator:
                 "ValidateAttrs", {"pairs": pairs},
                 args_size=8 + FID_VERSION_BYTES * len(pairs))
             self.stats.objects_validated += len(batch)
+            self._observe_rpc("object", len(batch))
             outcomes = result.result["results"]
             for entry in batch:
                 valid, status = outcomes.get(entry.fid, (False, None))

@@ -34,8 +34,10 @@ class LinkDirection:
     """One direction of a duplex link."""
 
     def __init__(self, sim, bandwidth_bps, latency, loss_rate,
-                 bits_per_byte, rng, deliver, header_savings=0):
+                 bits_per_byte, rng, deliver, header_savings=0,
+                 label=""):
         self.sim = sim
+        self.label = label           # e.g. "laptop->server", for metrics
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency = float(latency)
         self.loss_rate = float(loss_rate)
@@ -69,26 +71,52 @@ class LinkDirection:
         """
         self.stats.packets_sent += 1
         self.stats.bytes_sent += datagram.size
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter("link.packets_sent", link=self.label).inc()
+            obs.metrics.counter("link.bytes_sent",
+                                link=self.label).inc(datagram.size)
         if not self.up:
             self.stats.packets_dropped_down += 1
+            if obs.enabled:
+                obs.metrics.counter("link.packets_dropped",
+                                    link=self.label, reason="down").inc()
+                obs.event("packet_drop", link=self.label, reason="down",
+                          bytes=datagram.size)
             return
         start = max(self.sim.now, self._busy_until)
         done = start + self.transmission_time(datagram.size)
         self._busy_until = done
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats.packets_lost += 1
+            if obs.enabled:
+                obs.metrics.counter("link.packets_dropped",
+                                    link=self.label, reason="loss").inc()
+                obs.event("packet_drop", link=self.label, reason="loss",
+                          bytes=datagram.size)
             return
         arrival_delay = (done - self.sim.now) + self.latency
         self.sim.process(self._delayed_delivery(arrival_delay, datagram))
 
     def _delayed_delivery(self, delay, datagram):
         yield self.sim.timeout(delay)
+        obs = self.sim.obs
         if not self.up:
             # The link dropped while the packet was in flight.
             self.stats.packets_dropped_down += 1
+            if obs.enabled:
+                obs.metrics.counter("link.packets_dropped", link=self.label,
+                                    reason="down_in_flight").inc()
+                obs.event("packet_drop", link=self.label,
+                          reason="down_in_flight", bytes=datagram.size)
             return
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += datagram.size
+        if obs.enabled:
+            obs.metrics.counter("link.packets_delivered",
+                                link=self.label).inc()
+            obs.metrics.counter("link.bytes_delivered",
+                                link=self.label).inc(datagram.size)
         self._deliver(datagram)
 
 
@@ -114,10 +142,12 @@ class Link:
         deliver = deliver or (lambda datagram: None)
         self.forward = LinkDirection(
             sim, bandwidth_up_bps or bandwidth_bps, latency, loss_rate,
-            bits_per_byte, rng, deliver, header_savings=header_savings)
+            bits_per_byte, rng, deliver, header_savings=header_savings,
+            label="%s->%s" % (node_a, node_b))
         self.backward = LinkDirection(
             sim, bandwidth_bps, latency, loss_rate,
-            bits_per_byte, rng, deliver, header_savings=header_savings)
+            bits_per_byte, rng, deliver, header_savings=header_savings,
+            label="%s->%s" % (node_b, node_a))
 
     @property
     def up(self):
@@ -125,8 +155,16 @@ class Link:
 
     def set_up(self, up):
         """Bring both directions up or down."""
+        changed = self.up != bool(up)
         self.forward.up = up
         self.backward.up = up
+        if changed:
+            obs = self.sim.obs
+            if obs.enabled:
+                obs.event("link_up" if up else "link_down", link=self.name)
+                obs.metrics.counter(
+                    "link.transitions", link=self.name,
+                    to="up" if up else "down").inc()
 
     def set_loss_rate(self, loss_rate):
         self.forward.loss_rate = loss_rate

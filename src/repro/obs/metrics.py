@@ -1,0 +1,272 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every instrument is keyed by ``(name, labels)`` — asking the registry
+for the same key twice returns the same instrument, so call sites can
+simply say ``registry.counter("link.bytes_sent", link=name).inc(n)``
+without caching handles.  Updates are stamped with simulation time via
+the registry's ``time_fn`` (wired to ``sim.now`` by the observatory),
+so exported metrics line up with the event timeline.
+
+Instruments never schedule simulation events and consume no
+randomness: observing a run cannot perturb it.
+"""
+
+import math
+
+#: Default histogram buckets (upper bounds, seconds) spanning the
+#: latencies seen across the paper's four orders of magnitude of
+#: bandwidth — sub-RTT on Ethernet to multi-minute modem transfers.
+DEFAULT_LATENCY_BUCKETS = (
+    0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+    30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+def format_labels(labels):
+    """Render a label dict as a stable ``k=v,k=v`` string."""
+    return ",".join("%s=%s" % (k, v) for k, v in sorted(labels.items()))
+
+
+class Instrument:
+    """Common base: identity, labels, and update stamping."""
+
+    kind = "instrument"
+
+    def __init__(self, name, labels, time_fn):
+        self.name = name
+        self.labels = dict(labels)
+        self._time_fn = time_fn
+        self.last_update = None
+
+    def _stamp(self):
+        self.last_update = self._time_fn()
+
+    @property
+    def label_string(self):
+        return format_labels(self.labels)
+
+    def data(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<%s %s{%s}>" % (type(self).__name__, self.name,
+                                self.label_string)
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels, time_fn):
+        super().__init__(name, labels, time_fn)
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % (amount,))
+        self.value += amount
+        self._stamp()
+        return self.value
+
+    def data(self):
+        return {"value": self.value, "last_update": self.last_update}
+
+
+class Gauge(Instrument):
+    """A value that goes up and down; tracks its min/max envelope."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels, time_fn):
+        super().__init__(name, labels, time_fn)
+        self.value = None
+        self.min_value = None
+        self.max_value = None
+
+    def set(self, value):
+        self.value = value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        self._stamp()
+        return value
+
+    def inc(self, amount=1):
+        return self.set((self.value or 0) + amount)
+
+    def dec(self, amount=1):
+        return self.set((self.value or 0) - amount)
+
+    def data(self):
+        return {"value": self.value, "min": self.min_value,
+                "max": self.max_value, "last_update": self.last_update}
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` is a sorted sequence of inclusive upper bounds; an
+    implicit +inf bucket catches the overflow.  Percentiles are
+    estimated from the cumulative bucket counts (upper-bound biased,
+    like Prometheus ``histogram_quantile``).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, labels, time_fn,
+                 buckets=DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, labels, time_fn)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)   # +1 for the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self._stamp()
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q):
+        """Estimated q-quantile (0..1) from bucket upper bounds."""
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.counts[index]
+            if cumulative >= target:
+                return bound
+        return self.max if self.max is not None else math.inf
+
+    def bucket_rows(self):
+        """``[(upper_bound, count), ...]`` including the +inf bucket."""
+        rows = list(zip(self.bounds, self.counts))
+        rows.append((math.inf, self.counts[-1]))
+        return rows
+
+    def data(self):
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max,
+                "buckets": [[b, c] for b, c in
+                            zip(self.bounds, self.counts)],
+                "overflow": self.counts[-1],
+                "last_update": self.last_update}
+
+
+class MetricsRegistry:
+    """All instruments of one simulation, keyed by ``(name, labels)``."""
+
+    def __init__(self, time_fn=None):
+        self._time_fn = time_fn or (lambda: 0.0)
+        self._instruments = {}
+        self._kinds = {}            # name -> instrument class
+        self._bucket_defaults = {}  # name -> bounds tuple
+
+    def _now(self):
+        return self._time_fn()
+
+    def _get(self, cls, name, labels, **extra):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise TypeError(
+                    "%r is registered as a %s, not a %s"
+                    % (name, instrument.kind, cls.kind))
+            return instrument
+        known = self._kinds.get(name)
+        if known is not None and known is not cls:
+            raise TypeError("%r is registered as a %s, not a %s"
+                            % (name, known.kind, cls.kind))
+        instrument = cls(name, labels, self._now, **extra)
+        self._instruments[key] = instrument
+        self._kinds[name] = cls
+        return instrument
+
+    def counter(self, name, **labels):
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name, buckets=None, **labels):
+        if buckets is not None:
+            bounds = tuple(sorted(float(b) for b in buckets))
+            known = self._bucket_defaults.get(name)
+            if known is not None and known != bounds:
+                raise ValueError(
+                    "histogram %r already uses buckets %r" % (name, known))
+            self._bucket_defaults[name] = bounds
+        bounds = self._bucket_defaults.get(name, DEFAULT_LATENCY_BUCKETS)
+        return self._get(Histogram, name, labels, buckets=bounds)
+
+    # -- querying --------------------------------------------------------
+
+    def __len__(self):
+        return len(self._instruments)
+
+    def instruments(self):
+        """All instruments, sorted by (name, labels) for stable output."""
+        return [self._instruments[key]
+                for key in sorted(self._instruments)]
+
+    def find(self, name, **labels):
+        """The instrument at exactly ``(name, labels)``, or None."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def with_name(self, name):
+        """All instruments sharing ``name`` (any labels), sorted."""
+        return [inst for inst in self.instruments() if inst.name == name]
+
+    def with_prefix(self, prefix):
+        """All instruments whose name starts with ``prefix``, sorted."""
+        return [inst for inst in self.instruments()
+                if inst.name.startswith(prefix)]
+
+    def value(self, name, default=0, **labels):
+        """Shortcut: a counter/gauge value, or ``default`` if absent."""
+        instrument = self.find(name, **labels)
+        if instrument is None:
+            return default
+        return instrument.value
+
+    def total(self, name):
+        """Sum of a counter's value across all label sets."""
+        return sum(inst.value for inst in self.with_name(name)
+                   if isinstance(inst, Counter))
+
+    def rows(self):
+        """Flat export rows, one per instrument (for JSONL/CSV)."""
+        out = []
+        for inst in self.instruments():
+            row = {"metric": inst.name, "type": inst.kind,
+                   "labels": dict(inst.labels)}
+            row.update(inst.data())
+            out.append(row)
+        return out

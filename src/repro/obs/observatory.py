@@ -1,0 +1,143 @@
+"""The observatory: one object that watches a whole simulation.
+
+An :class:`Observatory` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.events.TraceRecorder` and installs itself as
+``sim.obs``.  Instrumented code throughout the stack reads ``sim.obs``
+dynamically and guards every emission with ``obs.enabled``::
+
+    obs = self.sim.obs
+    if obs.enabled:
+        obs.metrics.counter("link.bytes_sent", link=self.label).inc(n)
+        obs.event("link_down", link=self.name)
+
+The default is :data:`NULL_OBS`, whose ``enabled`` is False — the
+guard is one attribute load and one branch, nothing is allocated, no
+simulation event is scheduled and no randomness is drawn, so a run
+with observation off is schedule-identical (and state-identical) to a
+run of the pre-instrumentation code.
+"""
+
+from repro.obs.events import NullRecorder, TraceRecorder
+from repro.obs.metrics import MetricsRegistry
+
+
+class Observatory:
+    """Metrics + tracing for one (or several) simulators."""
+
+    enabled = True
+
+    def __init__(self, sim=None, recorder=None, registry=None):
+        self._sim = None
+        self.trace = TraceRecorder() if recorder is None else recorder
+        self.metrics = (MetricsRegistry(time_fn=self.time)
+                        if registry is None else registry)
+        if sim is not None:
+            self.install(sim)
+
+    def time(self):
+        """Current simulation time (0.0 until installed on a sim)."""
+        return self._sim.now if self._sim is not None else 0.0
+
+    def install(self, sim):
+        """Attach to ``sim`` so instrumented code can see us."""
+        self._sim = sim
+        sim.obs = self
+        return self
+
+    def uninstall(self):
+        """Detach, restoring the zero-overhead null observatory."""
+        if self._sim is not None:
+            self._sim.obs = NULL_OBS
+            self._sim = None
+
+    def event(self, kind, /, **fields):
+        """Record one trace event stamped with simulation time.
+
+        ``kind`` is positional-only so event fields may themselves be
+        named ``kind`` (e.g. validation_rpc's volume|object).
+        """
+        self.trace.record(kind, self.time(), **fields)
+
+    def summary(self):
+        """The human-readable report (see :mod:`repro.obs.report`)."""
+        from repro.obs.report import summary
+        return summary(self)
+
+
+class _NullInstrument:
+    """Accepts any update and forgets it immediately."""
+
+    value = 0
+    count = 0
+
+    def inc(self, amount=1):
+        return 0
+
+    def dec(self, amount=1):
+        return 0
+
+    def set(self, value):
+        return value
+
+    def observe(self, value):
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetrics:
+    """Registry facade handing out the shared null instrument."""
+
+    def counter(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, **labels):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=None, **labels):
+        return _NULL_INSTRUMENT
+
+    def instruments(self):
+        return []
+
+    def rows(self):
+        return []
+
+    def __len__(self):
+        return 0
+
+
+class NullObservatory:
+    """The default ``sim.obs``: everything is a no-op.
+
+    Instrumented call sites check ``enabled`` first, so in practice
+    none of these methods run; they exist so that an unguarded call is
+    still harmless.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        self.trace = NullRecorder()
+        self.metrics = _NullMetrics()
+
+    def time(self):
+        return 0.0
+
+    def event(self, kind, /, **fields):
+        """Discard the event."""
+
+    def install(self, sim):
+        sim.obs = self
+        return self
+
+    def uninstall(self):
+        """Nothing to detach."""
+
+    def summary(self):
+        return "observability disabled (null observatory)"
+
+
+#: The shared zero-overhead default attached to every new Simulator.
+NULL_OBS = NullObservatory()

@@ -1,0 +1,171 @@
+"""Canned scenarios the ``repro obs`` command can instrument.
+
+Each scenario builds a standard testbed (one client, one server, one
+link), runs a deterministic workload exercising the paper's weak-
+connectivity machinery, and returns the finished testbed.  Passing an
+:class:`~repro.obs.observatory.Observatory` installs it before the
+first simulation event, so the timeline covers the whole run; passing
+``schedule_log`` records the kernel's ``(time, priority, sequence)``
+dispatch order, which the determinism regression test compares between
+instrumented and uninstrumented runs.
+"""
+
+from repro.bench.common import make_testbed, populate_volume, warm_cache
+from repro.fs.content import SyntheticContent
+from repro.net import MODEM, WAVELAN
+from repro.venus import VenusConfig
+
+MOUNT = "/coda/usr/bob"
+
+
+def _probe_schedule(sim, schedule_log):
+    """Wrap ``sim.step`` to log each dispatch's heap key."""
+    original_step = sim.step
+
+    def probed_step():
+        schedule_log.append(sim._queue[0][:3])
+        original_step()
+
+    sim.step = probed_step
+
+
+def _standard_volume(testbed):
+    tree = {
+        MOUNT + "/work": ("dir", 0),
+        MOUNT + "/work/draft.tex": ("file", 15_000),
+        MOUNT + "/work/figure.eps": ("file", 40_000),
+        MOUNT + "/work/notes.txt": ("file", 4_000),
+    }
+    volume = populate_volume(testbed.server, MOUNT, tree)
+    warm_cache(testbed.venus, testbed.server, volume)
+    return volume
+
+
+def trickle_scenario(observatory=None, schedule_log=None):
+    """The weak-link trickle workload (examples/weak_link_trickle.py).
+
+    A write-disconnected client over a 9.6 Kb/s modem: an overwrite
+    within the aging window (log optimization), a file larger than one
+    chunk (fragmented shipping), and a foreground miss racing the
+    background reintegration.
+    """
+    config = VenusConfig(aging_window=300.0, chunk_seconds=30.0,
+                         daemon_period=5.0)
+    testbed = make_testbed(MODEM, venus_config=config,
+                           observatory=observatory)
+    if schedule_log is not None:
+        _probe_schedule(testbed.sim, schedule_log)
+    _standard_volume(testbed)
+    venus = testbed.venus
+    sim = testbed.sim
+
+    def session():
+        yield from venus.connect()
+        yield from venus.write_file(MOUNT + "/work/draft.tex",
+                                    SyntheticContent(16_000))
+        yield sim.timeout(120.0)
+        yield from venus.write_file(MOUNT + "/work/draft.tex",
+                                    SyntheticContent(17_000))
+        yield from venus.write_file(MOUNT + "/work/results.dat",
+                                    SyntheticContent(120_000))
+        yield sim.timeout(600.0)
+        entry = yield from venus.stat(MOUNT + "/work/figure.eps")
+        venus.cache.remove(entry.fid)
+        venus.hoard(MOUNT + "/work/figure.eps", 900)
+        yield from venus.read_file(MOUNT + "/work/figure.eps")
+        yield sim.timeout(900.0)
+
+    sim.run(sim.process(session()))
+    return testbed
+
+
+def outage_scenario(observatory=None, schedule_log=None):
+    """Intermittence over WaveLAN: outages, reconnection, validation.
+
+    Exercises link_up/link_down events, disconnected operation, the
+    reconnection validation path, and the CML drain on reconnection.
+    """
+    config = VenusConfig(aging_window=60.0, daemon_period=5.0,
+                         probe_interval=30.0)
+    testbed = make_testbed(WAVELAN, venus_config=config,
+                           observatory=observatory)
+    if schedule_log is not None:
+        _probe_schedule(testbed.sim, schedule_log)
+    _standard_volume(testbed)
+    venus = testbed.venus
+    sim = testbed.sim
+    testbed.link.outage(after=60.0, duration=120.0)
+
+    def session():
+        yield from venus.connect()
+        yield from venus.write_file(MOUNT + "/work/notes.txt",
+                                    SyntheticContent(6_000))
+        yield sim.timeout(90.0)     # now inside the outage
+        try:
+            yield from venus.write_file(MOUNT + "/work/draft.tex",
+                                        SyntheticContent(18_000))
+        except OSError:
+            pass
+        yield sim.timeout(300.0)    # reconnect probes fire, CML drains
+        yield from venus.read_file(MOUNT + "/work/figure.eps")
+        yield sim.timeout(120.0)
+
+    sim.run(sim.process(session()))
+    return testbed
+
+
+SCENARIOS = {
+    "trickle": trickle_scenario,
+    "outage": outage_scenario,
+}
+
+
+def run_scenario(name, observatory=None, schedule_log=None):
+    """Run scenario ``name``; returns the finished testbed."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError("unknown scenario %r (have %s)"
+                         % (name, ", ".join(sorted(SCENARIOS))))
+    return scenario(observatory=observatory, schedule_log=schedule_log)
+
+
+def fingerprint(testbed):
+    """Deterministic digest of a finished run's externally visible state.
+
+    Everything here is downstream of the full event schedule — packet
+    counts, bytes, CPU-paced sends, CML accounting — so two runs with
+    equal fingerprints executed the same simulation.
+    """
+    venus = testbed.venus
+    link = testbed.link.stats()
+    cml = venus.cml.stats
+    trickle = venus.trickle.stats
+    validation = venus.validator.stats
+    return {
+        "end_time": testbed.sim.now,
+        "link_packets_sent": link.packets_sent,
+        "link_packets_delivered": link.packets_delivered,
+        "link_packets_lost": link.packets_lost,
+        "link_bytes_sent": link.bytes_sent,
+        "link_bytes_delivered": link.bytes_delivered,
+        "client_packets_out": venus.endpoint.packets_out,
+        "client_bytes_out": venus.endpoint.bytes_out,
+        "server_packets_out": testbed.server.endpoint.packets_out,
+        "server_bytes_out": testbed.server.endpoint.bytes_out,
+        "venus_state": venus.state.state.value,
+        "venus_transitions": [(t, a.value, b.value)
+                              for t, a, b in venus.state.transitions],
+        "cml_len": len(venus.cml),
+        "cml_appended": cml.appended_records,
+        "cml_optimized": cml.optimized_records,
+        "cml_reintegrated": cml.reintegrated_records,
+        "chunks_committed": trickle.chunks_committed,
+        "bytes_shipped": trickle.bytes_shipped,
+        "fragments_shipped": trickle.fragments_shipped,
+        "validation_attempts": validation.attempts,
+        "validation_objects": validation.objects_validated,
+        "fetches": venus.stats.fetches,
+        "fetch_bytes": venus.stats.fetch_bytes,
+        "operations": venus.stats.operations,
+    }

@@ -112,6 +112,13 @@ class Rpc2Endpoint:
             yield from self.cpu.use(self.host.send_cost(size))
             self.packets_out += 1
             self.bytes_out += size
+            obs = self.sim.obs
+            if obs.enabled:
+                kind = type(packet).__name__
+                obs.metrics.counter("rpc.packets_out", node=self.node,
+                                    kind=kind).inc()
+                obs.metrics.counter("rpc.bytes_out", node=self.node,
+                                    kind=kind).inc(size)
             # Endpoints bind the same well-known port on every node.
             self.socket.send(peer, self.port, packet, size)
 
@@ -377,12 +384,18 @@ class Rpc2Connection:
                           send_size=send_size, ts=sim.now)
         fetch_tid = (endpoint.node, self.conn_id, seq, "fetch")
         store_tid = (endpoint.node, self.conn_id, seq, "store")
+        started = sim.now
         try:
             attempts = 0
             patience = (estimator.rtt.rto +
                         estimator.expected_transfer_time(
                             args_size, default_bps=endpoint.default_bps))
             endpoint._send(self.peer, request)
+            obs = sim.obs
+            if obs.enabled:
+                obs.event("rpc_send", node=endpoint.node, peer=self.peer,
+                          proc=procedure, seq=seq, conn=self.conn_id,
+                          send_size=send_size)
             pending = inbox.get()
             upload_done = False
             while True:
@@ -398,6 +411,15 @@ class Rpc2Connection:
                         receiver = endpoint._sftp_receivers.pop(
                             fetch_tid, None)
                         bulk = receiver.bytes_received if receiver else 0
+                        obs = sim.obs
+                        if obs.enabled:
+                            latency = sim.now - started
+                            obs.metrics.histogram(
+                                "rpc.latency_seconds", node=endpoint.node,
+                                proc=procedure).observe(latency)
+                            obs.event("rpc_reply", node=endpoint.node,
+                                      peer=self.peer, proc=procedure,
+                                      seq=seq, latency=latency, bulk=bulk)
                         return CallResult(packet.result, bulk)
                     if isinstance(packet, Busy):
                         # The server is working; poll again after a few
@@ -436,6 +458,13 @@ class Rpc2Connection:
                         "call %s to %s timed out" % (procedure, self.peer))
                 request.ts = sim.now
                 endpoint._send(self.peer, request)
+                obs = sim.obs
+                if obs.enabled:
+                    obs.metrics.counter("rpc.retransmits",
+                                        node=endpoint.node).inc()
+                    obs.event("retransmit", node=endpoint.node,
+                              peer=self.peer, proc=procedure, seq=seq,
+                              attempt=attempts, layer="rpc2")
                 patience = min(60.0, estimator.rtt.rto * (2 ** attempts))
         finally:
             endpoint._calls.pop(key, None)

@@ -63,9 +63,31 @@ class SftpSender:
             nbytes, default_bps=self.endpoint.default_bps)
         return 2.0 * expected + estimator.rtt.rto
 
+    def _send_data(self, seq, sent):
+        """Queue data packet ``seq``; returns its payload size.
+
+        ``sent`` is the set of sequence numbers already transmitted at
+        least once — a membership hit means this send is a
+        retransmission, which the observability layer counts.
+        """
+        data_size = self._packet_size(seq)
+        obs = self.sim.obs
+        if obs.enabled and seq in sent:
+            obs.metrics.counter("sftp.retransmits",
+                                node=self.endpoint.node).inc()
+            obs.event("retransmit", node=self.endpoint.node,
+                      peer=self.peer, layer="sftp", seq=seq,
+                      transfer=str(self.transfer_id))
+        sent.add(seq)
+        self.endpoint._send(self.peer, SftpData(
+            transfer_id=self.transfer_id, seq=seq, total=self.total,
+            data_size=data_size, ts=self.sim.now))
+        return data_size
+
     def run(self):
         start = self.sim.now
         unacked = set(range(self.total))
+        sent = set()
         retries = 0
         backoff = 1.0
         last_progress = self.sim.now
@@ -80,12 +102,7 @@ class SftpSender:
             burst_bytes = 0
             round_start = self.sim.now
             for seq in burst:
-                data_size = self._packet_size(seq)
-                burst_bytes += data_size
-                self.endpoint._send(self.peer, SftpData(
-                    transfer_id=self.transfer_id, seq=seq,
-                    total=self.total, data_size=data_size,
-                    ts=self.sim.now))
+                burst_bytes += self._send_data(seq, sent)
             deadline = self.sim.timeout(
                 self._burst_timeout(max(burst_bytes, self.data_size))
                 * backoff)
@@ -127,11 +144,7 @@ class SftpSender:
                                    if seq < horizon}
                         if missing:
                             for seq in sorted(missing):
-                                self.endpoint._send(self.peer, SftpData(
-                                    transfer_id=self.transfer_id, seq=seq,
-                                    total=self.total,
-                                    data_size=self._packet_size(seq),
-                                    ts=self.sim.now))
+                                self._send_data(seq, sent)
                     if not (set(burst) & unacked):
                         break   # burst fully delivered: next round
                     continue    # partial/duplicate ack: keep waiting

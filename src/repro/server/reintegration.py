@@ -47,8 +47,18 @@ class ReintegrationOutcome:
 class Reintegrator:
     """Validates and applies CML chunks against a volume registry."""
 
-    def __init__(self, registry):
+    def __init__(self, registry, sim=None):
         self.registry = registry
+        # Optional: lets server-side replay emit trace events.  The
+        # replay logic itself never consults simulation time.
+        self.sim = sim
+
+    def _observe(self, kind, **fields):
+        if self.sim is None:
+            return
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event(kind, **fields)
 
     # -- validation ------------------------------------------------------
 
@@ -66,6 +76,8 @@ class Reintegrator:
                 shadow.apply(record)
             except ConflictError as conflict:
                 conflicts.append((record.seqno, conflict.reason))
+        self._observe("reintegration_validate", records=len(records),
+                      conflicts=len(conflicts))
         return conflicts
 
     def _check(self, shadow, record):
@@ -131,6 +143,8 @@ class Reintegrator:
             touched_volumes.add(volume.volid)
         stamps = {volid: self.registry.by_id(volid).stamp
                   for volid in touched_volumes}
+        self._observe("reintegration_apply", records=len(records),
+                      volumes=len(touched_volumes))
         return new_versions, stamps
 
     def _apply_one(self, volume, record, mtime):

@@ -39,7 +39,7 @@ class CodaServer:
         self.registry = VolumeRegistry()
         self.callbacks = CallbackRegistry()
         self.fragments = FragmentStore()
-        self.reintegrator = Reintegrator(self.registry)
+        self.reintegrator = Reintegrator(self.registry, sim=sim)
         self.endpoint = Rpc2Endpoint(sim, network, node, CODA_PORT, host,
                                      default_bps=default_bps)
         self._client_conns = {}

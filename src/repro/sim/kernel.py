@@ -3,6 +3,7 @@
 import heapq
 from itertools import count
 
+from repro.obs.observatory import NULL_OBS
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -13,6 +14,11 @@ class Simulator:
     Time is a float in seconds.  Events are executed in
     ``(time, priority, insertion order)`` order, so identical inputs
     always produce identical schedules.
+
+    ``obs`` is the observability hook (:mod:`repro.obs`): the null
+    observatory by default, replaced by ``Observatory(sim)`` when a
+    run is instrumented.  Observation never schedules events, so it
+    cannot perturb the schedule.
     """
 
     def __init__(self, start_time=0.0):
@@ -20,6 +26,7 @@ class Simulator:
         self._queue = []
         self._sequence = count()
         self._active_process = None
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # Factories
@@ -64,6 +71,10 @@ class Simulator:
         """Process the single next event.  Raises IndexError if empty."""
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self.now = when
+        obs = self.obs
+        if obs.enabled:
+            obs.metrics.counter("sim.events_dispatched").inc()
+            obs.metrics.gauge("sim.queue_depth").set(len(self._queue))
         event._process()
 
     def peek(self):

@@ -94,6 +94,14 @@ class ClientModifyLog:
         self._seq = count(1)
         self._frozen = set()       # id()s of records behind the barrier
         self.stats = CmlStats()
+        # Observability hook: called with the log after any content
+        # change (append, commit, abort, discard).  None by default —
+        # Venus wires it to the metrics gauges when instrumented.
+        self.on_change = None
+
+    def _notify(self):
+        if self.on_change is not None:
+            self.on_change(self)
 
     # -- basic views ----------------------------------------------------
 
@@ -139,7 +147,9 @@ class ClientModifyLog:
         record.seqno = next(self._seq)
         self.stats.appended_records += 1
         self.stats.appended_bytes += record.size
-        return self._optimize_and_insert(record)
+        appended = self._optimize_and_insert(record)
+        self._notify()
+        return appended
 
     def _optimize_and_insert(self, record):
         live = self._records
@@ -284,6 +294,7 @@ class ClientModifyLog:
         self._records = [r for r in self._records
                          if id(r) not in self._frozen]
         self._frozen = set()
+        self._notify()
         return done
 
     def abort_frozen(self):
@@ -298,6 +309,7 @@ class ClientModifyLog:
         self._records = []
         for record in survivors:
             self._optimize_and_insert(record)
+        self._notify()
 
     def discard(self, records):
         """Drop specific records without reintegration accounting.
@@ -310,4 +322,5 @@ class ClientModifyLog:
         removed = len(self._records) - len(kept)
         self._records = kept
         self._frozen = set()
+        self._notify()
         return removed

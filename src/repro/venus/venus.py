@@ -158,6 +158,8 @@ class Venus:
         self.ledger = CostLedger(self.config.tariff or FREE)
         self._connected_since = None
         self.state.on_transition(self._account_connection_time)
+        self.state.on_transition(self._observe_transition)
+        self.cml.on_change = self._observe_cml
         self.trickle = TrickleReintegrator(self)
         self.validator = RapidValidator(
             sim, self.cache, self.conn,
@@ -211,6 +213,21 @@ class Venus:
                 self._connected_since = None
         elif self._connected_since is None:
             self._connected_since = now
+
+    def _observe_transition(self, old, new):
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event("state_transition", node=self.node,
+                      frm=old.value, to=new.value)
+            obs.metrics.counter("venus.transitions", node=self.node,
+                                to=new.value).inc()
+
+    def _observe_cml(self, log):
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.gauge("cml.length", node=self.node).set(len(log))
+            obs.metrics.gauge("cml.bytes",
+                              node=self.node).set(log.size_bytes)
 
     def network_cost(self):
         """Money spent so far on this tariff (bytes + connect time)."""
@@ -343,6 +360,7 @@ class Venus:
                        or self.cache.is_valid(entry)))
         if usable:
             self.cache.touch(entry, self.sim.now)
+            self._observe_reference(hit=True, path=path)
             return entry
         if not fetch:
             if entry is not None:
@@ -352,23 +370,42 @@ class Venus:
             if entry is not None:
                 # Stale flags are unknowable offline; trust the cache.
                 self.cache.touch(entry, self.sim.now)
+                self._observe_reference(hit=True, path=path)
                 return entry
             self.stats.misses_disconnected += 1
             miss = MissRecord(path=path, time=self.sim.now, program=program,
                               reason="disconnected")
             self.misses.record(miss)
+            self._observe_reference(hit=False, path=path,
+                                    reason="disconnected")
             raise CacheMissError(path)
 
         if not want_data:
             # Status-only demand: attributes are ~100 bytes, cheap at
             # any bandwidth (section 4.4.1) — no patience gate.
+            self._observe_reference(hit=False, path=path, reason="status")
             entry = yield from self._fetch_status(fid, path)
             return entry
         if self.state.state is VenusState.WRITE_DISCONNECTED:
             yield from self._patience_gate(fid, path, program, entry)
+        self._observe_reference(hit=False, path=path, reason="fetch")
         with self._foreground():
             entry = yield from self._fetch_object(fid, path)
         return entry
+
+    def _observe_reference(self, hit, path, reason=None):
+        """Count one cache reference in the observability layer."""
+        obs = self.sim.obs
+        if not obs.enabled:
+            return
+        if hit:
+            obs.metrics.counter("cache.hits", node=self.node).inc()
+            obs.event("cache_hit", node=self.node, path=path)
+        else:
+            obs.metrics.counter("cache.misses", node=self.node,
+                                reason=reason).inc()
+            obs.event("cache_miss", node=self.node, path=path,
+                      reason=reason)
 
     def _fetch_status(self, fid, path):
         """Generator: refresh an object's status block from the server."""
@@ -431,6 +468,7 @@ class Venus:
                           size_bytes=size, estimated_seconds=estimate,
                           priority=priority, reason=reason)
         self.misses.record(miss)
+        self._observe_reference(hit=False, path=path, reason=reason)
         raise CacheMissError(path, estimated_seconds=estimate)
 
     def _fetch_object(self, fid, path):
@@ -810,8 +848,13 @@ class Venus:
             self.cml.stats.appended_records += 1
             self.cml.stats.appended_bytes += record.size
             self.cml._records.append(record)
+            self.cml._notify()
         else:
             self.cml.append(record, self.sim.now)
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.event("cml_append", node=self.node, op=record.op.value,
+                      records=len(self.cml), bytes=self.cml.size_bytes)
         self._refresh_dirty()
 
     def _refresh_dirty(self):

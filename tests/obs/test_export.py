@@ -1,0 +1,142 @@
+"""JSONL/CSV export round-trips for the timeline and the metrics."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.obs.events import TraceEvent, TraceRecorder
+from repro.obs.export import (read_events_csv, read_events_jsonl,
+                              read_metrics_csv, write_events_csv,
+                              write_events_jsonl, write_metrics_csv,
+                              write_metrics_jsonl)
+from repro.obs.metrics import MetricsRegistry
+
+
+def sample_events():
+    recorder = TraceRecorder()
+    recorder.record("rpc_send", 1.5, node="laptop", peer="server",
+                    proc="Fetch", seq=3)
+    recorder.record("link_down", 2.0, link="laptop->server")
+    recorder.record("cml_append", 2.5, node="laptop", op="store",
+                    records=2, bytes=1700)
+    return recorder.events
+
+
+def sample_registry():
+    registry = MetricsRegistry(time_fn=lambda: 42.0)
+    registry.counter("link.bytes_sent", link="a->b").inc(1200)
+    registry.gauge("cml.length", node="laptop").set(3)
+    hist = registry.histogram("rpc.latency_seconds",
+                              buckets=(0.1, 1.0), node="laptop")
+    hist.observe(0.05)
+    hist.observe(5.0)
+    return registry
+
+
+class TestEventsJsonl:
+
+    def test_round_trip_is_exact(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(events, path) == 3
+        back = read_events_jsonl(path)
+        assert back == list(events)
+
+    def test_file_objects_accepted(self):
+        buffer = io.StringIO()
+        write_events_jsonl(sample_events(), buffer)
+        back = read_events_jsonl(io.StringIO(buffer.getvalue()))
+        assert [e.kind for e in back] == ["rpc_send", "link_down",
+                                         "cml_append"]
+
+    def test_lines_are_plain_json_with_sorted_keys(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(sample_events(), path)
+        first = path.read_text().splitlines()[0]
+        row = json.loads(first)
+        assert row["kind"] == "rpc_send" and row["time"] == 1.5
+        assert list(row) == sorted(row)
+
+    def test_non_json_values_degrade_to_str(self, tmp_path):
+        events = [TraceEvent(time=0.0, kind="cache_hit",
+                             fields={"obj": frozenset({1})})]
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(events, path)
+        [back] = read_events_jsonl(path)
+        assert isinstance(back.fields["obj"], str)
+
+    def test_blank_lines_skipped(self):
+        back = read_events_jsonl(io.StringIO(
+            '{"time": 1.0, "kind": "cache_hit"}\n\n'))
+        assert len(back) == 1
+
+
+class TestEventsCsv:
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.csv"
+        assert write_events_csv(sample_events(), path) == 3
+        back = read_events_csv(path)
+        assert [e.kind for e in back] == ["rpc_send", "link_down",
+                                         "cml_append"]
+        assert back[0].time == 1.5
+        assert back[0].fields["proc"] == "Fetch"
+        # Cells absent for an event are dropped, not empty strings.
+        assert "proc" not in back[1].fields
+
+    def test_header_is_union_of_fields(self, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events_csv(sample_events(), path)
+        header = path.read_text().splitlines()[0].split(",")
+        assert header[:2] == ["time", "kind"]
+        assert {"node", "link", "op", "records"} <= set(header)
+
+    def test_field_named_kind_does_not_clobber_event_kind(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record("validation_rpc", 1.0, scope="volume", kind="x")
+        path = tmp_path / "events.csv"
+        write_events_csv(recorder.events, path)
+        [back] = read_events_csv(path)
+        assert back.kind == "validation_rpc"
+        assert back.fields["field_kind"] == "x"
+
+
+class TestMetricsExport:
+
+    def test_jsonl_rows(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert write_metrics_jsonl(sample_registry(), path) == 3
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {row["metric"]: row for row in rows}
+        assert by_name["link.bytes_sent"]["value"] == 1200
+        assert by_name["link.bytes_sent"]["labels"] == {"link": "a->b"}
+        assert by_name["cml.length"]["max"] == 3
+        assert by_name["rpc.latency_seconds"]["count"] == 2
+        assert by_name["rpc.latency_seconds"]["overflow"] == 1
+
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        assert write_metrics_csv(sample_registry(), path) == 3
+        rows = {row["metric"]: row for row in read_metrics_csv(path)}
+        counter = rows["link.bytes_sent"]
+        assert counter["type"] == "counter"
+        assert counter["value"] == 1200
+        assert counter["labels"] == {"link": "a->b"}
+        assert counter["last_update"] == 42
+        hist = rows["rpc.latency_seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(5.05)
+        assert hist["buckets"] == [[0.1, 1], [1.0, 0]]
+        assert hist["overflow"] == 1
+        gauge = rows["cml.length"]
+        assert gauge["value"] == 3 and "buckets" not in gauge
+
+    def test_csv_numbers_parse_back_to_int_when_integral(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        write_metrics_csv(sample_registry(), path)
+        [gauge] = [r for r in read_metrics_csv(path)
+                   if r["metric"] == "cml.length"]
+        assert isinstance(gauge["value"], int)
+        assert not math.isnan(gauge["last_update"])

@@ -1,0 +1,206 @@
+"""Counter/gauge/histogram semantics and registry behaviour."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, Histogram,
+                               MetricsRegistry, format_labels)
+
+
+def make_registry(clock=None):
+    if clock is None:
+        return MetricsRegistry()
+    return MetricsRegistry(time_fn=lambda: clock[0])
+
+
+class TestCounter:
+
+    def test_starts_at_zero_and_increments(self):
+        counter = make_registry().counter("ops")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        counter = make_registry().counter("ops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_stamps_time_of_last_update(self):
+        clock = [0.0]
+        counter = make_registry(clock).counter("ops")
+        assert counter.last_update is None
+        clock[0] = 12.5
+        counter.inc()
+        assert counter.last_update == 12.5
+
+    def test_data_row(self):
+        counter = make_registry().counter("ops")
+        counter.inc(3)
+        assert counter.data()["value"] == 3
+
+
+class TestGauge:
+
+    def test_set_inc_dec(self):
+        gauge = make_registry().gauge("depth")
+        assert gauge.value is None
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_inc_from_unset_counts_from_zero(self):
+        gauge = make_registry().gauge("depth")
+        gauge.inc(2)
+        assert gauge.value == 2
+
+    def test_min_max_envelope(self):
+        gauge = make_registry().gauge("depth")
+        for value in (5, -2, 9, 3):
+            gauge.set(value)
+        assert gauge.min_value == -2
+        assert gauge.max_value == 9
+        assert gauge.data() == {"value": 3, "min": -2, "max": 9,
+                                "last_update": 0.0}
+
+
+class TestHistogram:
+
+    def test_observe_fills_buckets(self):
+        hist = make_registry().histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.counts == [2, 1, 1]        # <=1, <=10, +inf
+        assert hist.min == 0.5 and hist.max == 100.0
+        assert hist.mean == pytest.approx(106.4 / 4)
+
+    def test_bucket_bound_is_inclusive(self):
+        hist = make_registry().histogram("lat", buckets=(1.0,))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0]
+
+    def test_empty_histogram(self):
+        hist = make_registry().histogram("lat", buckets=(1.0,))
+        assert hist.mean is None
+        assert hist.quantile(0.5) is None
+
+    def test_quantile_upper_bound_biased(self):
+        hist = make_registry().histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.quantile(0.50) == 1.0
+        assert hist.quantile(0.75) == 10.0
+        assert hist.quantile(1.00) == 100.0
+
+    def test_quantile_in_overflow_returns_observed_max(self):
+        hist = make_registry().histogram("lat", buckets=(1.0,))
+        hist.observe(500.0)
+        assert hist.quantile(0.99) == 500.0
+
+    def test_bucket_rows_include_inf(self):
+        hist = make_registry().histogram("lat", buckets=(1.0,))
+        hist.observe(2.0)
+        assert hist.bucket_rows() == [(1.0, 0), (math.inf, 1)]
+
+    def test_bounds_are_sorted(self):
+        hist = make_registry().histogram("lat", buckets=(10.0, 1.0))
+        assert hist.bounds == (1.0, 10.0)
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", {}, lambda: 0.0, buckets=())
+
+    def test_default_buckets(self):
+        hist = make_registry().histogram("lat")
+        assert hist.bounds == DEFAULT_LATENCY_BUCKETS
+
+    def test_data_row(self):
+        hist = make_registry().histogram("lat", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        data = hist.data()
+        assert data["count"] == 2
+        assert data["buckets"] == [[1.0, 1]]
+        assert data["overflow"] == 1
+
+
+class TestRegistry:
+
+    def test_same_key_returns_same_instrument(self):
+        registry = make_registry()
+        a = registry.counter("ops", node="x")
+        b = registry.counter("ops", node="x")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = make_registry()
+        a = registry.counter("ops", a=1, b=2)
+        b = registry.counter("ops", b=2, a=1)
+        assert a is b
+
+    def test_distinct_labels_distinct_instruments(self):
+        registry = make_registry()
+        assert registry.counter("ops", node="x") \
+            is not registry.counter("ops", node="y")
+        assert len(registry) == 2
+
+    def test_name_kind_conflict_raises(self):
+        registry = make_registry()
+        registry.counter("ops", node="x")
+        with pytest.raises(TypeError):
+            registry.gauge("ops", node="x")     # same key, other kind
+        with pytest.raises(TypeError):
+            registry.gauge("ops", node="y")     # same name, other kind
+
+    def test_histogram_bucket_defaults_shared_per_name(self):
+        registry = make_registry()
+        registry.histogram("lat", buckets=(1.0, 2.0), node="x")
+        later = registry.histogram("lat", node="y")
+        assert later.bounds == (1.0, 2.0)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = make_registry()
+        registry.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=(3.0,), node="y")
+
+    def test_instruments_sorted_and_queries(self):
+        registry = make_registry()
+        registry.counter("b.ops", node="y").inc(2)
+        registry.counter("b.ops", node="x").inc(3)
+        registry.counter("a.ops").inc()
+        registry.gauge("b.depth").set(7)
+        names = [inst.name for inst in registry.instruments()]
+        assert names == ["a.ops", "b.depth", "b.ops", "b.ops"]
+        assert len(registry.with_name("b.ops")) == 2
+        assert len(registry.with_prefix("b.")) == 3
+        assert registry.total("b.ops") == 5     # gauges excluded
+        assert registry.value("b.ops", node="x") == 3
+        assert registry.value("missing", default=-1) == -1
+        assert registry.find("b.ops", node="z") is None
+
+    def test_rows_cover_every_instrument(self):
+        registry = make_registry()
+        registry.counter("ops", node="x").inc()
+        registry.gauge("depth").set(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        rows = {row["metric"]: row for row in registry.rows()}
+        assert rows["ops"]["type"] == "counter"
+        assert rows["ops"]["labels"] == {"node": "x"}
+        assert rows["depth"]["value"] == 2
+        assert rows["lat"]["count"] == 1
+
+
+def test_format_labels_sorted():
+    assert format_labels({"b": 2, "a": "x"}) == "a=x,b=2"
+    assert format_labels({}) == ""
+
+
+def test_instrument_repr_mentions_identity():
+    counter = make_registry().counter("ops", node="x")
+    assert "ops" in repr(counter) and "node=x" in repr(counter)

@@ -1,0 +1,141 @@
+"""Scenario runs, the determinism regression, and the obs CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import Observatory
+from repro.obs.events import TraceRecorder
+from repro.obs.scenarios import SCENARIOS, fingerprint, run_scenario
+
+
+class TestDeterminism:
+    """Observation must not perturb the simulation (the tentpole
+    guarantee): with the null recorder and with a live observatory the
+    kernel dispatches the *same events in the same order* and ends in
+    the same externally visible state.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_instrumented_run_is_schedule_identical(self, name):
+        bare_schedule = []
+        bare = run_scenario(name, schedule_log=bare_schedule)
+
+        observatory = Observatory()
+        live_schedule = []
+        live = run_scenario(name, observatory=observatory,
+                            schedule_log=live_schedule)
+
+        assert len(bare_schedule) > 500     # the probe actually probed
+        assert bare_schedule == live_schedule
+        assert fingerprint(bare) == fingerprint(live)
+        # And the live run really observed things.
+        assert len(observatory.trace.events) > 0
+        assert len(observatory.metrics) > 0
+
+    def test_two_null_runs_identical(self):
+        first = run_scenario("trickle")
+        second = run_scenario("trickle")
+        assert fingerprint(first) == fingerprint(second)
+
+
+class TestTrickleScenario:
+
+    @pytest.fixture(scope="class")
+    def observed(self):
+        observatory = Observatory()
+        testbed = run_scenario("trickle", observatory=observatory)
+        return observatory, testbed
+
+    def test_required_event_kinds_recorded(self, observed):
+        observatory, _testbed = observed
+        kinds = set(observatory.trace.counts())
+        assert {"rpc_send", "rpc_reply", "cache_hit", "cache_miss",
+                "cml_append", "reintegration_chunk", "fragment",
+                "validation_rpc", "state_transition"} <= kinds
+
+    def test_metrics_agree_with_component_stats(self, observed):
+        observatory, testbed = observed
+        metrics = observatory.metrics
+        link = testbed.link.stats()
+        sent = metrics.total("link.packets_sent")
+        delivered = metrics.total("link.packets_delivered")
+        assert sent == link.packets_sent
+        assert delivered == link.packets_delivered
+        assert metrics.total("link.bytes_sent") == link.bytes_sent
+        trickle = testbed.venus.trickle.stats
+        assert metrics.total("reintegration.fragments") \
+            == trickle.fragments_shipped
+        committed = metrics.value("reintegration.chunks",
+                                  node=testbed.venus.node,
+                                  status="committed")
+        assert committed == trickle.chunks_committed
+        validation = testbed.venus.validator.stats
+        assert metrics.value("validation.rpcs", node=testbed.venus.node,
+                             kind="volume") > 0
+        assert metrics.total("validation.volumes") == validation.attempts
+
+    def test_timeline_times_monotonic(self, observed):
+        observatory, testbed = observed
+        times = [event.time for event in observatory.trace.events]
+        assert times == sorted(times)
+        assert times[-1] <= testbed.sim.now
+
+    def test_cml_gauge_drains_to_zero(self, observed):
+        observatory, testbed = observed
+        gauge = observatory.metrics.find("cml.length",
+                                         node=testbed.venus.node)
+        assert gauge is not None
+        assert gauge.max_value >= 2     # draft + results at least
+        assert gauge.value == len(testbed.venus.cml)
+
+    def test_uninstall_after_run(self, observed):
+        observatory, testbed = observed
+        # The observatory stays attached to the finished testbed's sim.
+        assert testbed.sim.obs is observatory
+
+
+class TestOutageScenario:
+
+    def test_link_flaps_recorded(self):
+        observatory = Observatory(recorder=TraceRecorder(
+            kinds={"link_up", "link_down", "packet_drop"}))
+        run_scenario("outage", observatory=observatory)
+        counts = observatory.trace.counts()
+        assert counts.get("link_down", 0) >= 1
+        assert counts.get("link_up", 0) >= 1
+        # The filtered recorder kept nothing else.
+        assert set(counts) <= {"link_up", "link_down", "packet_drop"}
+        assert observatory.metrics.total("link.transitions") >= 2
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError):
+        run_scenario("nope")
+
+
+class TestObsCli:
+
+    def test_obs_command_writes_timeline_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "timeline.jsonl"
+        metrics_csv = tmp_path / "metrics.csv"
+        assert main(["obs", "--scenario", "trickle",
+                     "--out", str(out),
+                     "--metrics-csv", str(metrics_csv)]) == 0
+        printed = capsys.readouterr().out
+        assert "Observability summary" in printed
+        assert "Links (per direction)" in printed
+        assert "rpc.latency_seconds" in printed
+        assert "hit ratio" in printed
+        assert "Client modify log" in printed
+        assert "Validation RPCs" in printed
+        rows = [json.loads(line)
+                for line in out.read_text().splitlines() if line]
+        assert len(rows) > 20
+        assert {"time", "kind"} <= set(rows[0])
+        assert metrics_csv.read_text().startswith("metric,type,labels")
+
+    def test_obs_command_summary_only(self, capsys):
+        assert main(["obs"]) == 0
+        assert "Event mix" in capsys.readouterr().out
