@@ -29,6 +29,7 @@ class Testbed:
     server: object
     venus: object
     obs: object = None
+    streams: object = None
 
     def run(self, generator):
         """Run a generator as a process to completion; returns its value."""
@@ -49,6 +50,7 @@ def make_testbed(profile, venus_config=None, user=None, seed=0,
     if observatory is not None:
         observatory.install(sim)
     streams = RandomStreams(seed)
+    sim.rand = streams
     net = Network(sim, rng=streams.stream("net"))
     overrides = {}
     if loss_rate is not None:
@@ -58,7 +60,7 @@ def make_testbed(profile, venus_config=None, user=None, seed=0,
     venus = Venus(sim, net, CLIENT, SERVER, client_host,
                   config=venus_config, user=user)
     return Testbed(sim=sim, net=net, link=link, server=server, venus=venus,
-                   obs=observatory)
+                   obs=observatory, streams=streams)
 
 
 def populate_volume(server, mount_prefix, tree, volume_name=None):

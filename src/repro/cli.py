@@ -13,6 +13,7 @@
     python -m repro ablations            # the design-choice sweeps
     python -m repro trace-export --segment holst --out holst.trace
     python -m repro obs --scenario trickle --out trickle.jsonl
+    python -m repro faults --scenario smoke
 """
 
 import argparse
@@ -142,6 +143,36 @@ def _cmd_obs(args):
     print(report.summary(observatory))
 
 
+def _cmd_faults(args):
+    from repro.faults import fault_fingerprint, run_fault_scenario
+    from repro.obs import Observatory, report
+    from repro.obs.export import write_events_jsonl
+
+    observatory = Observatory()
+    try:
+        testbed = run_fault_scenario(args.scenario,
+                                     observatory=observatory)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    injector = testbed.faults
+    print("fault scenario %r: %d action(s) injected"
+          % (args.scenario, len(injector.log)))
+    for when, label in injector.log:
+        print("  %10.1f  %s" % (when, label))
+    if args.out:
+        write_events_jsonl(observatory.trace.events, args.out)
+        print("wrote %d events to %s"
+              % (len(observatory.trace.events), args.out))
+    if args.fingerprint:
+        digest = fault_fingerprint(testbed)
+        for key in sorted(digest):
+            if key in ("server_namespace", "venus_transitions",
+                       "fault_log"):
+                continue
+            print("  %-28s %s" % (key, digest[key]))
+    print(report.summary(observatory))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +233,17 @@ def build_parser():
     p.add_argument("--metrics-csv", default=None,
                    help="write final metrics as CSV")
     p.set_defaults(fn=_cmd_obs)
+
+    p = sub.add_parser(
+        "faults",
+        help="run a scripted fault-injection scenario; show recovery")
+    p.add_argument("--scenario", default="smoke",
+                   help="smoke|client-crash|server-crash (default: smoke)")
+    p.add_argument("--out", default=None,
+                   help="write the event timeline as JSONL")
+    p.add_argument("--fingerprint", action="store_true",
+                   help="print the final-state fingerprint counters")
+    p.set_defaults(fn=_cmd_faults)
 
     return parser
 

@@ -72,7 +72,8 @@ class TrickleReintegrator:
 
     def start(self):
         if self._process is None or not self._process.is_alive:
-            self._process = self.sim.process(self._run(), name="trickle")
+            self._process = self.sim.process(self._run(), name="trickle",
+                                             owner=self.venus.node)
         return self._process
 
     def _run(self):

@@ -1,0 +1,155 @@
+"""What survives a Venus crash: the RVM persistence model.
+
+Real Venus keeps its metadata — the CML, cache entry status, volume
+version stamps, the hoard database, and the counters that make
+identifiers unique across reboots — in recoverable virtual memory
+(RVM), so a crash loses at most the data of files being written at
+that instant.  This module is the simulation analogue:
+:func:`snapshot_venus` captures exactly the RVM-resident state, and
+:func:`restore_venus` builds a fresh Venus from it.
+
+Deliberately volatile (NOT captured):
+
+* callback promises — object and volume flags are cleared, which is
+  what forces the restarted client through (rapid) validation;
+* fragment-shipping progress and any in-flight RPC or SFTP state;
+* the reintegration barrier — frozen records thaw back into the log,
+  exactly as an aborted chunk would;
+* pending-miss and conflict queues (advice state is session-local).
+
+Counters (CML seqno, fid allocator, RPC connection id) resume past
+their snapshot values so the restarted incarnation never reuses an
+identifier the server may have already seen.
+"""
+
+import copy
+from dataclasses import dataclass, field, replace
+from itertools import count
+
+from repro.venus.cache import CacheEntry
+
+
+@dataclass
+class VenusSnapshot:
+    """One client's RVM image, taken at ``time``."""
+
+    node: str
+    time: float
+    config: object
+    user: object
+    server_nodes: list
+    cml_records: list
+    cml_stats: object
+    next_seqno: int
+    next_fid: int
+    next_conn_id: int
+    mounts: dict
+    entries: list = field(default_factory=list)
+    volume_stamps: dict = field(default_factory=dict)
+    hoard_entries: list = field(default_factory=list)
+
+    @property
+    def cml_len(self):
+        return len(self.cml_records)
+
+
+def _copy_record(record):
+    """A CML record copy safe to mutate independently of the original.
+
+    Content payloads are immutable in this simulation and are shared;
+    the setattr dict is the only mutable payload field.
+    """
+    clone = replace(record)
+    if clone.attrs is not None:
+        clone.attrs = dict(clone.attrs)
+    return clone
+
+
+def _copy_entry(entry):
+    """A cache entry as RVM would recover it: status yes, callback no."""
+    clone = CacheEntry(entry.fid, entry.otype, path=entry.path)
+    clone.version = entry.version
+    clone.length = entry.length
+    clone.mtime = entry.mtime
+    clone.content = entry.content
+    clone.children = dict(entry.children) \
+        if entry.children is not None else None
+    clone.target = entry.target
+    clone.callback = False            # promises die with the process
+    clone.hoard_priority = entry.hoard_priority
+    clone.last_ref = entry.last_ref
+    clone.local = entry.local
+    # dirty is recomputed from the restored CML; pins drop to zero
+    # (open sessions do not survive a crash).
+    return clone
+
+
+def snapshot_venus(venus):
+    """Capture the RVM-persistent slice of a live Venus.
+
+    Called by the fault injector immediately before a scripted crash;
+    in RVM terms this is the state of the last committed transaction.
+    Consuming one value from each allocator is how we learn its next
+    value; the doomed incarnation never allocates again, and the
+    restored one starts exactly where the counter stood.
+    """
+    return VenusSnapshot(
+        node=venus.node,
+        time=venus.sim.now,
+        config=venus.config,
+        user=venus.user,
+        server_nodes=list(venus._server_nodes),
+        cml_records=[_copy_record(r) for r in venus.cml],
+        cml_stats=venus.cml.stats.snapshot(),
+        next_seqno=next(venus.cml._seq),
+        next_fid=next(venus._fid_counter),
+        next_conn_id=venus.endpoint._next_conn_id,
+        mounts=dict(venus._mounts),
+        entries=[_copy_entry(e) for e in venus.cache.entries()],
+        volume_stamps={volid: info.stamp
+                       for volid, info in venus.cache.volume_infos().items()
+                       if info.stamp is not None},
+        hoard_entries=[copy.copy(e) for e in venus.hdb],
+    )
+
+
+def restore_venus(snapshot, sim, network, host):
+    """Build a recovered Venus from ``snapshot``.
+
+    The new instance starts EMULATING with no callbacks and no volume
+    callbacks (stamps themselves survive — presenting them is what
+    makes post-restart revalidation *rapid*, Figures 8-9).  Its probe
+    daemon reconnects on its own schedule; reconnection revalidates
+    and trickle reintegration resumes from the persisted log.
+    """
+    from repro.venus.venus import Venus
+
+    server = snapshot.server_nodes if len(snapshot.server_nodes) > 1 \
+        else snapshot.server_nodes[0]
+    venus = Venus(sim, network, snapshot.node, server, host,
+                  config=snapshot.config, user=snapshot.user,
+                  first_conn_id=snapshot.next_conn_id)
+    # Mount table and volume knowledge.
+    venus._mounts = dict(snapshot.mounts)
+    for volid, stamp in snapshot.volume_stamps.items():
+        info = venus.cache.volume_info(volid)
+        info.stamp = stamp
+        info.callback = False
+    for prefix, (volid, _root) in snapshot.mounts.items():
+        venus.cache.volume_info(volid)
+    # Cache contents (no eviction: the snapshot fit the same capacity).
+    for entry in snapshot.entries:
+        venus.cache._entries[entry.fid] = _copy_entry(entry)
+    # The client modify log, with the barrier gone and the sequence
+    # numbering resuming where it stopped.
+    venus.cml._records = [_copy_record(r) for r in snapshot.cml_records]
+    venus.cml._seq = count(snapshot.next_seqno)
+    venus.cml.stats = snapshot.cml_stats.snapshot()
+    venus.cml._notify()
+    venus._fid_counter = count(snapshot.next_fid)
+    # Hoard database.
+    for hoard_entry in snapshot.hoard_entries:
+        venus.hdb.add(hoard_entry.path, hoard_entry.priority,
+                      children=hoard_entry.children)
+    venus._refresh_dirty()
+    return venus

@@ -1,0 +1,241 @@
+"""Canned fault scenarios for ``repro faults`` and the test suite.
+
+Each scenario builds the standard one-client/one-server testbed, arms
+a :class:`~repro.faults.injector.FaultInjector` with a scripted
+:class:`~repro.faults.plan.FaultPlan`, runs a deterministic workload
+through the faults, and returns the finished testbed (with the
+injector attached as ``testbed.faults``).  All file contents carry
+explicit tags so that two runs of the same scenario produce
+byte-identical namespace digests — the determinism tests depend on it.
+"""
+
+from repro.bench.common import make_testbed, populate_volume, warm_cache
+from repro.fs.content import SyntheticContent
+from repro.net import MODEM
+from repro.obs.scenarios import MOUNT, _probe_schedule
+from repro.obs.scenarios import fingerprint as obs_fingerprint
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ClientCrash,
+    ClientRestart,
+    FaultPlan,
+    LinkOutage,
+    LossBurst,
+    ServerCrash,
+    ServerRestart,
+)
+from repro.venus import VenusConfig
+
+
+def _standard_volume(testbed):
+    tree = {
+        MOUNT + "/work": ("dir", 0),
+        MOUNT + "/work/draft.tex": ("file", 15_000),
+        MOUNT + "/work/figure.eps": ("file", 40_000),
+        MOUNT + "/work/notes.txt": ("file", 4_000),
+    }
+    volume = populate_volume(testbed.server, MOUNT, tree)
+    warm_cache(testbed.venus, testbed.server, volume)
+    return volume
+
+
+def namespace_digest(server):
+    """Canonical, hashable digest of the server's whole namespace.
+
+    Paths, object types, versions, content fingerprints, symlink
+    targets, and directory listings — everything except mtimes, which
+    legitimately differ between an interrupted and an uninterrupted
+    run.  Two servers with equal digests hold the same files.
+    """
+    volumes = []
+    for volume in sorted(server.registry.volumes(), key=lambda v: v.volid):
+        prefix = "/" + "/".join(server.registry.mount_of(volume))
+        rows = {}
+        stack = [(volume.root, prefix)]
+        while stack:
+            vnode, path = stack.pop()
+            rows[path] = (
+                vnode.otype.value,
+                vnode.version,
+                vnode.content.fingerprint
+                if vnode.content is not None else None,
+                vnode.target,
+                tuple(sorted(vnode.children)) if vnode.children else None,
+            )
+            if vnode.children:
+                for name, child_fid in vnode.children.items():
+                    child = volume.get(child_fid)
+                    if child is not None:
+                        stack.append((child, path + "/" + name))
+        volumes.append((volume.volid, volume.stamp,
+                        tuple(sorted(rows.items()))))
+    return tuple(volumes)
+
+
+def fault_fingerprint(testbed):
+    """The obs fingerprint extended with fault/recovery final state."""
+    digest = obs_fingerprint(testbed)
+    server = testbed.server
+    digest["server_namespace"] = namespace_digest(server)
+    digest["server_crashes"] = server.crashes
+    digest["reintegration_duplicates"] = \
+        server.reintegrator.duplicates_skipped
+    injector = getattr(testbed, "faults", None)
+    if injector is not None:
+        digest["fault_log"] = tuple(injector.log)
+    return digest
+
+
+def _faulted_testbed(config, plan, observatory, schedule_log, seed=0):
+    testbed = make_testbed(MODEM, venus_config=config, seed=seed,
+                           observatory=observatory)
+    if schedule_log is not None:
+        _probe_schedule(testbed.sim, schedule_log)
+    _standard_volume(testbed)
+    testbed.faults = FaultInjector(testbed, plan)
+    testbed.faults.start()
+    return testbed
+
+
+def smoke_scenario(observatory=None, schedule_log=None, plan=None):
+    """Everything once, briefly: outage, loss burst, client crash.
+
+    A write-disconnected modem client logs updates through a link
+    outage and a loss burst, crashes mid-trickle with records still in
+    the CML, restarts from its RVM snapshot, reconnects, and drains.
+    Fast enough for CI.
+    """
+    if plan is None:
+        plan = FaultPlan([
+            LinkOutage(at=90.0, duration=40.0),
+            LossBurst(at=200.0, duration=40.0, loss_rate=0.25),
+            ClientCrash(at=310.0),
+            ClientRestart(at=340.0),
+        ])
+    # The short walk interval gives the client volume stamps (and the
+    # snapshot taken at the crash keeps them), so the restart goes
+    # through *rapid* validation, Figures 8-9.
+    config = VenusConfig(aging_window=30.0, daemon_period=5.0,
+                         probe_interval=30.0, hoard_walk_interval=120.0)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    sim = testbed.sim
+
+    def session():
+        venus = testbed.venus
+        yield from venus.connect()
+        yield from venus.write_file(MOUNT + "/work/notes.txt",
+                                    SyntheticContent(6_000,
+                                                     tag=("smoke", 1)))
+        yield sim.timeout(55.0)
+        yield from venus.write_file(MOUNT + "/work/draft.tex",
+                                    SyntheticContent(16_000,
+                                                     tag=("smoke", 2)))
+        yield sim.timeout(100.0)
+        yield from venus.write_file(MOUNT + "/work/results.dat",
+                                    SyntheticContent(40_000,
+                                                     tag=("smoke", 3)))
+        yield sim.timeout(130.0)
+        # ~290 s: logged just before the scripted crash at 310 s; the
+        # record must survive the crash inside the snapshot.
+        yield from testbed.venus.write_file(
+            MOUNT + "/work/report.txt",
+            SyntheticContent(8_000, tag=("smoke", 4)))
+        yield sim.timeout(400.0)
+        # The restarted Venus (testbed.venus changed identity at the
+        # client_restart action) has reconnected and drained by now.
+        yield from testbed.venus.read_file(MOUNT + "/work/draft.tex")
+
+    sim.run(sim.process(session()))
+    return testbed
+
+
+def client_crash_scenario(observatory=None, schedule_log=None, plan=None):
+    """A client dies mid-trickle and resumes from the barrier.
+
+    A large store is being trickled when Venus crashes; the restart
+    replays the persisted CML, revalidates rapidly (stamps survive),
+    and finishes shipping without applying anything twice.
+    """
+    if plan is None:
+        plan = FaultPlan([
+            ClientCrash(at=130.0),
+            ClientRestart(at=160.0),
+        ])
+    config = VenusConfig(aging_window=30.0, daemon_period=5.0,
+                         probe_interval=30.0)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    sim = testbed.sim
+
+    def session():
+        venus = testbed.venus
+        yield from venus.connect()
+        yield from venus.write_file(MOUNT + "/work/notes.txt",
+                                    SyntheticContent(5_000,
+                                                     tag=("ccrash", 1)))
+        yield sim.timeout(80.0)
+        # Aged at ~115 s, this 60 KB store is mid-flight (≈55 s on a
+        # modem) when the crash lands at 130 s.
+        yield from venus.write_file(MOUNT + "/work/results.dat",
+                                    SyntheticContent(60_000,
+                                                     tag=("ccrash", 2)))
+        yield sim.timeout(520.0)
+        yield from testbed.venus.read_file(MOUNT + "/work/results.dat")
+
+    sim.run(sim.process(session()))
+    return testbed
+
+
+def server_crash_scenario(observatory=None, schedule_log=None, plan=None):
+    """A server dies mid-reintegration and comes back 30 s later.
+
+    The store (namespace, volume stamps, applied-record marks)
+    survives; callbacks and fragment state do not.  The client rides
+    out the outage as a disconnection, revalidates rapidly against the
+    surviving stamps on reconnection, and reintegration completes with
+    every CML record applied exactly once.
+    """
+    if plan is None:
+        plan = FaultPlan([
+            ServerCrash(at=100.0),
+            ServerRestart(at=130.0),
+        ])
+    config = VenusConfig(aging_window=20.0, daemon_period=5.0,
+                         probe_interval=30.0)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    sim = testbed.sim
+
+    def session():
+        venus = testbed.venus
+        yield from venus.connect()
+        yield from venus.write_file(MOUNT + "/work/draft.tex",
+                                    SyntheticContent(16_000,
+                                                     tag=("scrash", 1)))
+        yield sim.timeout(65.0)
+        # Aged at ~90 s; the ~27 s transfer straddles the crash at 100.
+        yield from venus.write_file(MOUNT + "/work/results.dat",
+                                    SyntheticContent(30_000,
+                                                     tag=("scrash", 2)))
+        yield sim.timeout(500.0)
+        yield from testbed.venus.read_file(MOUNT + "/work/results.dat")
+
+    sim.run(sim.process(session()))
+    return testbed
+
+
+FAULT_SCENARIOS = {
+    "smoke": smoke_scenario,
+    "client-crash": client_crash_scenario,
+    "server-crash": server_crash_scenario,
+}
+
+
+def run_fault_scenario(name, observatory=None, schedule_log=None,
+                       plan=None):
+    """Run fault scenario ``name``; returns the finished testbed."""
+    try:
+        scenario = FAULT_SCENARIOS[name]
+    except KeyError:
+        raise ValueError("unknown fault scenario %r (have %s)"
+                         % (name, ", ".join(sorted(FAULT_SCENARIOS))))
+    return scenario(observatory=observatory, schedule_log=schedule_log,
+                    plan=plan)

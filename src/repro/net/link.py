@@ -20,6 +20,7 @@ class LinkStats:
     packets_dropped_down: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    bytes_dropped_down: int = 0
 
     def reset(self):
         self.packets_sent = 0
@@ -28,6 +29,7 @@ class LinkStats:
         self.packets_dropped_down = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
+        self.bytes_dropped_down = 0
 
 
 class LinkDirection:
@@ -78,9 +80,12 @@ class LinkDirection:
                                 link=self.label).inc(datagram.size)
         if not self.up:
             self.stats.packets_dropped_down += 1
+            self.stats.bytes_dropped_down += datagram.size
             if obs.enabled:
                 obs.metrics.counter("link.packets_dropped",
                                     link=self.label, reason="down").inc()
+                obs.metrics.counter("link.bytes_dropped", link=self.label,
+                                    reason="down").inc(datagram.size)
                 obs.event("packet_drop", link=self.label, reason="down",
                           bytes=datagram.size)
             return
@@ -104,9 +109,13 @@ class LinkDirection:
         if not self.up:
             # The link dropped while the packet was in flight.
             self.stats.packets_dropped_down += 1
+            self.stats.bytes_dropped_down += datagram.size
             if obs.enabled:
                 obs.metrics.counter("link.packets_dropped", link=self.label,
                                     reason="down_in_flight").inc()
+                obs.metrics.counter("link.bytes_dropped", link=self.label,
+                                    reason="down_in_flight"
+                                    ).inc(datagram.size)
                 obs.event("packet_drop", link=self.label,
                           reason="down_in_flight", bytes=datagram.size)
             return
@@ -206,4 +215,5 @@ class Link:
             total.packets_dropped_down += direction.stats.packets_dropped_down
             total.bytes_sent += direction.stats.bytes_sent
             total.bytes_delivered += direction.stats.bytes_delivered
+            total.bytes_dropped_down += direction.stats.bytes_dropped_down
         return total

@@ -40,6 +40,13 @@ from dataclasses import dataclass, field
 #:   ``volumes``).
 #: * ``state_transition`` — Venus moved between Figure 2 states
 #:   (``node``, ``frm``, ``to``).
+#: * ``fault_injected`` — the fault injector executed one plan action
+#:   (``action`` = link_outage|server_crash|..., plus action fields).
+#: * ``node_crash`` / ``node_restart`` — a client or server process
+#:   died or came back (``node``, ``role`` = client|server; restarts
+#:   add recovery detail such as ``cml_records`` replayed).
+#: * ``reintegration_duplicate`` — the server skipped re-shipped CML
+#:   records it had already applied (``client``, ``seqnos``).
 EVENT_KINDS = frozenset({
     "rpc_send",
     "rpc_reply",
@@ -56,6 +63,10 @@ EVENT_KINDS = frozenset({
     "reintegration_validate",
     "reintegration_apply",
     "state_transition",
+    "fault_injected",
+    "node_crash",
+    "node_restart",
+    "reintegration_duplicate",
 })
 
 

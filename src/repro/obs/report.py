@@ -193,6 +193,12 @@ def summary(observatory):
         lines += _counter_table(validation, "Validation RPCs")
         lines.append("")
 
+    # Faults ----------------------------------------------------------
+    faults = metrics.with_prefix("faults.")
+    if faults:
+        lines += _counter_table(faults, "Fault injection")
+        lines.append("")
+
     # Timeline mix ----------------------------------------------------
     counts = trace.counts()
     if counts:

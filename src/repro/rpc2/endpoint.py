@@ -64,7 +64,7 @@ class Rpc2Endpoint:
     """An RPC2/SFTP protocol engine bound to ``(node, port)``."""
 
     def __init__(self, sim, network, node, port, host,
-                 default_bps=9600.0, rng=None, cpu=None):
+                 default_bps=9600.0, rng=None, cpu=None, first_conn_id=1):
         from repro.net.cpu import HostCpu
         self.sim = sim
         self.network = network
@@ -77,7 +77,11 @@ class Rpc2Endpoint:
         self.liveness = LivenessRegistry(sim)
         self._estimators = {}
         self._handlers = {}
-        self._conn_ids = count(1)
+        # Connection ids start at ``first_conn_id`` so an endpoint
+        # rebuilt after a crash never reuses ids from its previous
+        # incarnation — a peer's at-most-once cache would swallow the
+        # new connection's calls as duplicates otherwise.
+        self._next_conn_id = first_conn_id
         self._calls = {}            # (peer, conn, seq) -> call state
         self._server_conns = {}     # (peer, conn) -> per-connection state
         self._sftp_senders = {}     # transfer_id -> SftpSender
@@ -87,8 +91,17 @@ class Rpc2Endpoint:
         self._ping_seq = count(1)
         self.packets_out = 0
         self.bytes_out = 0
-        sim.process(self._send_loop(), name="%s-send" % node)
-        sim.process(self._recv_loop(), name="%s-recv" % node)
+        sim.process(self._send_loop(), name="%s-send" % node, owner=node)
+        sim.process(self._recv_loop(), name="%s-recv" % node, owner=node)
+
+    def shutdown(self):
+        """Tear the endpoint down as a crash would: the socket closes
+        and every process owned by this node dies mid-flight.  In-flight
+        transfers, pending calls, and server-side handler state are all
+        volatile and vanish with them.  Returns the kill count."""
+        if not self.socket.closed:
+            self.socket.close()
+        return self.sim.kill_owned(self.node)
 
     # ------------------------------------------------------------------
     # Shared infrastructure
@@ -186,12 +199,14 @@ class Rpc2Endpoint:
 
     def connect(self, peer):
         """Open a logical connection to ``peer``'s endpoint."""
-        return Rpc2Connection(self, peer, next(self._conn_ids))
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        return Rpc2Connection(self, peer, conn_id)
 
     def ping(self, peer, pad=0, timeout=None):
         """Process: round-trip a ping; returns RTT or raises ConnectionDead."""
         return self.sim.process(self._ping(peer, pad, timeout),
-                                name="ping-%s" % peer)
+                                name="ping-%s" % peer, owner=self.node)
 
     def _ping(self, peer, pad, timeout):
         estimator = self.estimator(peer)
@@ -260,7 +275,8 @@ class Rpc2Endpoint:
         state["active"] = request.seq
         state["upload_started"] = False
         self.sim.process(self._serve(peer, request, state),
-                         name="serve-%s-%s" % (request.proc, request.seq))
+                         name="serve-%s-%s" % (request.proc, request.seq),
+                         owner=self.node)
 
     def _serve(self, peer, request, state):
         ctx = _CallContext(self, peer, request.send_size)
@@ -287,7 +303,8 @@ class Rpc2Endpoint:
                 outcome = handler(ctx, request.args)
                 if hasattr(outcome, "__next__"):
                     outcome = yield self.sim.process(
-                        outcome, name="handler-%s" % request.proc)
+                        outcome, name="handler-%s" % request.proc,
+                        owner=self.node)
                 if isinstance(outcome, tuple) and len(outcome) == 2:
                     result, bulk_size = outcome
                 else:
@@ -299,7 +316,8 @@ class Rpc2Endpoint:
                 self._sftp_senders[transfer_id] = sender
                 try:
                     yield self.sim.process(sender.run(),
-                                           name="sftp-send-reply")
+                                           name="sftp-send-reply",
+                                           owner=self.node)
                 finally:
                     self._expire_transfer(transfer_id, receiver=False)
         except TransferAborted:
@@ -324,7 +342,7 @@ class Rpc2Endpoint:
                 self._sftp_receivers.pop(transfer_id, None)
             else:
                 self._sftp_senders.pop(transfer_id, None)
-        self.sim.process(expire(), name="sftp-expire")
+        self.sim.process(expire(), name="sftp-expire", owner=self.node)
 
 
 class Rpc2Connection:
@@ -358,7 +376,7 @@ class Rpc2Connection:
         return self.sim.process(
             self._serialized_call(procedure, args, args_size, send_size,
                                   max_retries),
-            name="call-%s" % procedure)
+            name="call-%s" % procedure, owner=self.endpoint.node)
 
     def _serialized_call(self, procedure, args, args_size, send_size,
                          max_retries):
@@ -434,7 +452,8 @@ class Rpc2Connection:
                         endpoint._sftp_senders[store_tid] = sender
                         try:
                             yield sim.process(sender.run(),
-                                              name="sftp-send-store")
+                                              name="sftp-send-store",
+                                              owner=endpoint.node)
                         except TransferAborted as aborted:
                             endpoint.liveness.mark_unreachable(self.peer)
                             raise ConnectionDead(str(aborted))

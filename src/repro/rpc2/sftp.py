@@ -24,6 +24,15 @@ MAX_RETRIES = 8
 #: detection must not scale with transfer size: a dead modem link is
 #: declared dead in ~2 minutes regardless of how big the file was.
 DEAD_INTERVAL = 120.0
+#: A round whose deadline exceeds this resends its lowest outstanding
+#: packet this often.  Round deadlines scale with the (possibly badly
+#: underestimated) link bandwidth and the retry backoff, so a round can
+#: legitimately outlast the receiver's data-idle limit; the probe keeps
+#: data flowing under that limit, and — because receivers acknowledge
+#: duplicates and holes promptly — solicits an ack that reveals a lost
+#: burst *tail*, which selective repair alone can never recover (it
+#: only refills holes below the highest sequence the receiver has seen).
+KEEPALIVE = 45.0
 
 
 def packet_count(size, data_size=SFTP_DATA_SIZE):
@@ -103,12 +112,17 @@ class SftpSender:
             round_start = self.sim.now
             for seq in burst:
                 burst_bytes += self._send_data(seq, sent)
-            deadline = self.sim.timeout(
-                self._burst_timeout(max(burst_bytes, self.data_size))
-                * backoff)
+            round_length = self._burst_timeout(
+                max(burst_bytes, self.data_size)) * backoff
+            deadline = self.sim.timeout(round_length)
+            keepalive = self.sim.timeout(KEEPALIVE) \
+                if round_length > KEEPALIVE else None
             progressed = False
             while True:
-                yield self.sim.any_of([pending_ack, deadline])
+                waiting = [pending_ack, deadline]
+                if keepalive is not None:
+                    waiting.append(keepalive)
+                yield self.sim.any_of(waiting)
                 if pending_ack.triggered:
                     ack = pending_ack.value
                     pending_ack = self.inbox.get()
@@ -148,6 +162,12 @@ class SftpSender:
                     if not (set(burst) & unacked):
                         break   # burst fully delivered: next round
                     continue    # partial/duplicate ack: keep waiting
+                if keepalive is not None and keepalive.triggered \
+                        and not deadline.triggered:
+                    probe = min(unacked) if unacked else self.total - 1
+                    self._send_data(probe, sent)
+                    keepalive = self.sim.timeout(KEEPALIVE)
+                    continue
                 break           # round timed out
             if progressed:
                 retries = 0
@@ -184,13 +204,16 @@ class SftpReceiver:
         self.total = None
         self.bytes_received = 0
         self.done = sim.event()
+        self._aborted = False
         self._new_since_ack = 0
         self._last_data_at = sim.now
         self._last_ts = None
         self._gap_ewma = 0.05
-        self._watchdog = sim.process(self._watch(), name="sftp-recv-watchdog")
+        self._watchdog = sim.process(self._watch(), name="sftp-recv-watchdog",
+                                     owner=endpoint.node)
         self._flusher = sim.process(self._flush_loop(),
-                                    name="sftp-recv-flush")
+                                    name="sftp-recv-flush",
+                                    owner=endpoint.node)
 
     @property
     def complete(self):
@@ -198,6 +221,11 @@ class SftpReceiver:
 
     def on_data(self, packet):
         """Handle one arriving data packet (called by the endpoint)."""
+        if self._aborted:
+            # The owning call already gave up on this transfer.  Going
+            # silent (rather than acking data nobody will consume) is
+            # what lets the sender's own failure detection fire.
+            return
         gap = self.sim.now - self._last_data_at
         if 0 < gap < 60.0:
             self._gap_ewma += 0.3 * (gap - self._gap_ewma)
@@ -262,6 +290,7 @@ class SftpReceiver:
                 return
             idle = self.sim.now - self._last_data_at
             if idle >= self.IDLE_LIMIT:
+                self._aborted = True
                 self.done.fail(TransferAborted(
                     "sftp receive %r from %s stalled" %
                     (self.transfer_id, self.peer)))

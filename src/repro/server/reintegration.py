@@ -52,6 +52,11 @@ class Reintegrator:
         # Optional: lets server-side replay emit trace events.  The
         # replay logic itself never consults simulation time.
         self.sim = sim
+        # Records already applied, by client: the analogue of the
+        # store-ids Coda keeps in RVM so reintegration is idempotent.
+        # client -> {seqno -> {fid -> version assigned at first apply}}
+        self._applied = {}
+        self.duplicates_skipped = 0
 
     def _observe(self, kind, **fields):
         if self.sim is None:
@@ -60,16 +65,53 @@ class Reintegrator:
         if obs.enabled:
             obs.event(kind, **fields)
 
+    # -- idempotent replay ----------------------------------------------
+
+    def is_applied(self, client, seqno):
+        """True if this client's record ``seqno`` was already applied."""
+        return seqno in self._applied.get(client, ())
+
+    def applied_versions(self, client, seqno):
+        """fid -> version mapping stored when the record first applied."""
+        return self._applied.get(client, {}).get(seqno, {})
+
+    def mark_applied(self, client, records, new_versions):
+        """Durably note records as applied (survives server crashes)."""
+        marks = self._applied.setdefault(client, {})
+        for record in records:
+            marks[record.seqno] = {
+                fid: version for fid, version in new_versions.items()
+                if fid == record.fid}
+
+    def note_duplicates(self, client, records):
+        """Account a batch of re-shipped, already-applied records."""
+        self.duplicates_skipped += len(records)
+        if self.sim is None:
+            return
+        obs = self.sim.obs
+        if obs.enabled:
+            obs.metrics.counter("reintegration.duplicates",
+                                client=client).inc(len(records))
+            obs.event("reintegration_duplicate", client=client,
+                      seqnos=[r.seqno for r in records])
+
     # -- validation ------------------------------------------------------
 
-    def validate(self, records):
+    def validate(self, records, own_bumps=None):
         """Return a list of (seqno, reason) conflicts (empty if clean).
 
         Validation runs against a scratch copy of the affected state so
         that intra-chunk dependencies (create then store) are honoured.
+        ``own_bumps`` (fid -> count) discounts version bumps the server
+        already applied on this client's behalf — records of a chunk
+        re-shipped after a crash whose duplicate prefix was filtered
+        out; without the discount the client's own earlier updates
+        would read as another client's and conflict falsely.
         """
         conflicts = []
         shadow = _ShadowState(self.registry)
+        if own_bumps:
+            shadow._own_bumps.update(own_bumps)
         for record in records:
             try:
                 self._check(shadow, record)

@@ -110,7 +110,7 @@ class ReplicaSet:
             kwargs["max_retries"] = max_retries
         return self.sim.process(
             self._call(procedure, args, args_size, send_size, kwargs),
-            name="vsg-%s" % procedure)
+            name="vsg-%s" % procedure, owner=self.endpoint.node)
 
     # ------------------------------------------------------------------
 

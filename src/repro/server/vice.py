@@ -34,7 +34,10 @@ class CodaServer:
     def __init__(self, sim, network, node, host, costs=None,
                  default_bps=9600.0):
         self.sim = sim
+        self.network = network
         self.node = node
+        self.host = host
+        self.default_bps = default_bps
         self.costs = costs or ServerCosts()
         self.registry = VolumeRegistry()
         self.callbacks = CallbackRegistry()
@@ -46,7 +49,43 @@ class CodaServer:
         self._volid_counter = 100
         self.reintegrations = 0
         self.reintegration_conflicts = 0
+        self.crashed = False
+        self.crashes = 0
         self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # Crash and recovery (repro.faults)
+
+    def crash(self):
+        """Simulate a server crash: volatile state vanishes, disk stays.
+
+        The store — volumes, vnodes, volume version stamps, and the
+        reintegrator's applied-record marks (Coda keeps store-ids in
+        RVM) — survives.  Callback promises, partially assembled
+        fragments, per-connection RPC state, and every running handler
+        process are volatile and are lost, which is what forces clients
+        back through rapid validation when the server returns.
+        """
+        self.crashed = True
+        self.crashes += 1
+        killed = self.endpoint.shutdown()
+        self.callbacks = CallbackRegistry()
+        self.fragments = FragmentStore()
+        self._client_conns = {}
+        return killed
+
+    def restart(self):
+        """Bring a crashed server back up with a fresh endpoint."""
+        if not self.crashed:
+            raise RuntimeError("server %s is not down" % self.node)
+        next_conn_id = self.endpoint._next_conn_id
+        self.endpoint = Rpc2Endpoint(self.sim, self.network, self.node,
+                                     CODA_PORT, self.host,
+                                     default_bps=self.default_bps,
+                                     first_conn_id=next_conn_id)
+        self.crashed = False
+        self._register_handlers()
+        return self.endpoint
 
     # ------------------------------------------------------------------
     # Volume administration
@@ -80,7 +119,7 @@ class CodaServer:
             notify[client]["volumes"].append(fid.volume)
         for client, breaks in notify.items():
             self.sim.process(self._deliver_break(client, breaks),
-                             name="break-%s" % client)
+                             name="break-%s" % client, owner=self.node)
 
     def _deliver_break(self, client, breaks):
         conn = self._conn_to(client)
@@ -316,13 +355,29 @@ class CodaServer:
         return {"received": received}
 
     def _h_reintegrate(self, ctx, args):
-        """Atomically replay a chunk of a client's CML (section 4.3.3)."""
+        """Atomically replay a chunk of a client's CML (section 4.3.3).
+
+        Replay is idempotent: records the server already applied for
+        this client (identified by their CML sequence numbers, the
+        moral equivalent of Coda store-ids kept in RVM) are filtered
+        out and acknowledged from the stored marks rather than applied
+        twice.  A client that crashed after the server committed a
+        chunk but before the reply arrived can therefore safely re-ship
+        it after recovery.
+        """
         records = args["records"]
         preshipped = set(args.get("preshipped", ()))
         self.reintegrations += 1
-        # Fragmented stores must be fully present before we even try.
+        fresh = [r for r in records
+                 if not self.reintegrator.is_applied(ctx.peer, r.seqno)]
+        duplicates = [r for r in records
+                      if self.reintegrator.is_applied(ctx.peer, r.seqno)]
+        if duplicates:
+            self.reintegrator.note_duplicates(ctx.peer, duplicates)
+        # Fragmented stores must be fully present before we even try
+        # (already-applied records consumed their fragments last time).
         missing = []
-        for record in records:
+        for record in fresh:
             if record.seqno in preshipped:
                 key = (ctx.peer, record.seqno)
                 if not self.fragments.is_complete(key, record.content.size):
@@ -331,14 +386,41 @@ class CodaServer:
             return {"status": "missing_data", "missing": missing}
         yield self.sim.timeout(self.costs.reintegration_fixed
                                + self.costs.per_record * len(records))
-        conflicts = self.reintegrator.validate(records)
-        if conflicts:
-            self.reintegration_conflicts += len(conflicts)
-            return SizedResult(
-                {"status": "conflict", "conflicts": conflicts},
-                16 + 16 * len(conflicts))
-        new_versions, stamps = self.reintegrator.apply(records, self.sim.now)
-        for record in records:
+        if fresh:
+            # Versions the filtered duplicates already added count as
+            # this client's own, not as foreign updates.
+            prior_bumps = {}
+            for record in duplicates:
+                if record.op.value in ("store", "setattr"):
+                    prior_bumps[record.fid] = \
+                        prior_bumps.get(record.fid, 0) + 1
+            conflicts = self.reintegrator.validate(fresh,
+                                                   own_bumps=prior_bumps)
+            if conflicts:
+                self.reintegration_conflicts += len(conflicts)
+                return SizedResult(
+                    {"status": "conflict", "conflicts": conflicts},
+                    16 + 16 * len(conflicts))
+            new_versions, stamps = self.reintegrator.apply(
+                fresh, self.sim.now)
+            self.reintegrator.mark_applied(ctx.peer, fresh, new_versions)
+        else:
+            new_versions, stamps = {}, {}
+        # Acknowledge duplicates with the versions recorded when they
+        # were first applied, and report current stamps for their
+        # volumes, so the client's reply handling is oblivious to the
+        # replay.
+        for record in duplicates:
+            stored = self.reintegrator.applied_versions(ctx.peer,
+                                                        record.seqno)
+            for fid, version in stored.items():
+                new_versions.setdefault(fid, version)
+            try:
+                volume = self.registry.by_id(record.fid.volume)
+            except KeyError:
+                continue
+            stamps.setdefault(volume.volid, volume.stamp)
+        for record in fresh:
             if record.seqno in preshipped:
                 self.fragments.consume((ctx.peer, record.seqno))
             self._break_callbacks(ctx.peer, record.fid)

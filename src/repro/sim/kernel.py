@@ -27,6 +27,11 @@ class Simulator:
         self._sequence = count()
         self._active_process = None
         self.obs = NULL_OBS
+        # Named deterministic random streams (repro.sim.rand), attached
+        # by the testbed builder so subsystems (e.g. fault injection)
+        # can draw from isolated per-component streams.
+        self.rand = None
+        self._owned = {}    # owner -> [Process]; for crash-style kills
 
     # ------------------------------------------------------------------
     # Factories
@@ -39,9 +44,37 @@ class Simulator:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator, name=None):
-        """Start ``generator`` as a new :class:`Process`."""
-        return Process(self, generator, name=name)
+    def process(self, generator, name=None, owner=None):
+        """Start ``generator`` as a new :class:`Process`.
+
+        ``owner`` optionally tags the process as belonging to a named
+        component (a node, typically) so :meth:`kill_owned` can destroy
+        everything that component was running — the crash model's "the
+        process and all its volatile state vanish" primitive.
+        """
+        proc = Process(self, generator, name=name)
+        if owner is not None:
+            # Prune finished processes so long runs don't accumulate.
+            alive = [p for p in self._owned.get(owner, ()) if p.is_alive]
+            alive.append(proc)
+            self._owned[owner] = alive
+        return proc
+
+    def kill_owned(self, owner, cause=None):
+        """Interrupt every live process tagged with ``owner``.
+
+        Each victim is defused first: a killed process fails with
+        :class:`Interrupt`, and nobody is expected to be watching a
+        process that just ceased to exist.  Returns the kill count.
+        """
+        procs = self._owned.pop(owner, [])
+        killed = 0
+        for proc in procs:
+            if proc.is_alive:
+                proc.defuse()
+                proc.interrupt(cause)
+                killed += 1
+        return killed
 
     def any_of(self, events):
         """Event that fires when any of ``events`` does."""

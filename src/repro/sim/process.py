@@ -47,6 +47,12 @@ class Process(Event):
         self.sim._schedule_event(kick, URGENT)
 
     def _resume(self, event):
+        if self.triggered:
+            # A late interrupt kick can arrive after the process already
+            # finished (e.g. a failure cascaded into it first during a
+            # mass kill); there is nothing left to resume.
+            event.defuse()
+            return
         self._target = None
         self.sim._active_process = self
         try:

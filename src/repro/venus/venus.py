@@ -114,9 +114,10 @@ class Venus:
     """The per-client cache manager."""
 
     def __init__(self, sim, network, node, server, host,
-                 config=None, user=None):
+                 config=None, user=None, first_conn_id=1):
         self.sim = sim
         self.node = node
+        self.crashed = False
         # ``server`` may be one node name, or a list naming a volume
         # storage group (server replication, section 2.2); list items
         # may be CodaServer objects, which enables replica resolution.
@@ -135,7 +136,8 @@ class Venus:
         self.config = config or VenusConfig()
         self.user = user or TimeoutUser(self.config.advice_timeout)
         self.endpoint = Rpc2Endpoint(sim, network, node, CODA_PORT, host,
-                                     default_bps=self.config.initial_bps)
+                                     default_bps=self.config.initial_bps,
+                                     first_conn_id=first_conn_id)
         self.endpoint.register("BreakCallback", self._h_break_callback)
         if len(server_nodes) > 1:
             from repro.server.replication import ReplicaSet
@@ -174,8 +176,10 @@ class Venus:
         self._walker = None          # set lazily (import cycle)
         if self.config.start_daemons:
             self.trickle.start()
-            sim.process(self._probe_daemon(), name="%s-probe" % node)
-            sim.process(self._walk_daemon(), name="%s-walk" % node)
+            sim.process(self._probe_daemon(), name="%s-probe" % node,
+                        owner=node)
+            sim.process(self._walk_daemon(), name="%s-walk" % node,
+                        owner=node)
 
     # ------------------------------------------------------------------
     # Utilities
@@ -967,6 +971,20 @@ class Venus:
                         touched |= involved
                     changed = True
         return [r for r in records if id(r) in included]
+
+    def crash(self):
+        """Simulate a Venus process (or machine) crash.
+
+        Everything volatile dies at this instant: the endpoint's socket
+        closes and every simulation process owned by this node — the
+        trickle/probe/walk daemons, in-flight RPCs, SFTP transfers —
+        is killed.  Persistent state (the CML, cache metadata, volume
+        stamps: the RVM analogue) is whatever a prior
+        :func:`repro.faults.persistence.snapshot_venus` captured; this
+        object itself must not be used again.  Returns the kill count.
+        """
+        self.crashed = True
+        return self.endpoint.shutdown()
 
     def handle_disconnection(self):
         """React to transport death: enter the emulating state."""

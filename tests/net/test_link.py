@@ -84,9 +84,11 @@ def test_down_link_drops_everything(sim):
     link = mk_link(sim, deliver=lambda d: arrived.append(d))
     link.set_up(False)
     link.send(dg(10))
+    link.send(dg(25))
     sim.run()
     assert arrived == []
-    assert link.stats().packets_dropped_down == 1
+    assert link.stats().packets_dropped_down == 2
+    assert link.stats().bytes_dropped_down == 35
 
 
 def test_packet_in_flight_lost_when_link_drops(sim):
@@ -102,6 +104,20 @@ def test_packet_in_flight_lost_when_link_drops(sim):
     sim.process(chop())
     sim.run()
     assert arrived == []
+    assert link.stats().bytes_dropped_down == 1000
+
+
+def test_dropped_bytes_aggregate_across_directions(sim):
+    link = mk_link(sim, deliver=lambda d: None)
+    link.set_up(False)
+    link.send(dg(100))                     # forward
+    link.send(dg(40, src="b", dst="a"))    # backward
+    sim.run()
+    stats = link.stats()
+    assert stats.packets_dropped_down == 2
+    assert stats.bytes_dropped_down == 140
+    assert link.forward.stats.bytes_dropped_down == 100
+    assert link.backward.stats.bytes_dropped_down == 40
 
 
 def test_outage_schedule(sim):

@@ -109,6 +109,15 @@ class TestOutageScenario:
         assert set(counts) <= {"link_up", "link_down", "packet_drop"}
         assert observatory.metrics.total("link.transitions") >= 2
 
+    def test_bytes_dropped_while_down_surface_in_summary(self):
+        from repro.obs import report
+        observatory = Observatory()
+        testbed = run_scenario("outage", observatory=observatory)
+        dropped = observatory.metrics.total("link.bytes_dropped")
+        assert dropped > 0
+        assert dropped == testbed.link.stats().bytes_dropped_down
+        assert "link.bytes_dropped" in report.summary(observatory)
+
 
 def test_unknown_scenario_raises():
     with pytest.raises(ValueError):

@@ -119,6 +119,98 @@ def test_name_collision_conflict_recovers_under_new_name():
     assert _server_file(testbed, "report.conflict") is not None
 
 
+def _disconnected_testbed():
+    """A connected-then-severed testbed, ready to log colliding ops."""
+    config = VenusConfig(aging_window=0.0, daemon_period=5.0)
+    from repro.net import MODEM
+    testbed = build_testbed(profile=MODEM, venus_config=config)
+    connected(testbed)
+    testbed.link.set_up(False)
+    testbed.venus.handle_disconnection()
+    return testbed
+
+
+def _plant_on_server(testbed, name, otype, **kwargs):
+    """Another client wins the race: ``dir/<name>`` appears server-side."""
+    from repro.fs import Vnode
+    volume = testbed.volume
+    other = Vnode(volume.alloc_fid(), otype, **kwargs)
+    volume.add(other)
+    d = volume.require(volume.root.lookup("dir"))
+    d.children[name] = other.fid
+    volume.bump(d, 1.0)
+    return other
+
+
+def _reconnect_and_confine(testbed):
+    testbed.link.set_up(True)
+    connected(testbed)
+    testbed.sim.run(until=testbed.sim.now + 300.0)
+    conflicts = testbed.venus.list_conflicts()
+    assert conflicts, "expected a confined conflict"
+    return conflicts
+
+
+def test_directory_collision_recovers_as_conflict_directory():
+    """An mkdir that collides recreates as <name>.conflict, still a dir."""
+    from repro.fs import ObjectType
+    testbed = _disconnected_testbed()
+    venus = testbed.venus
+    testbed.run(venus.mkdir(M + "/dir/build"))
+    _plant_on_server(testbed, "build", ObjectType.DIRECTORY)
+    conflicts = _reconnect_and_confine(testbed)
+    mkdir = [c for c in conflicts if c.record.op.value == "mkdir"][0]
+    testbed.run(venus.repair(mkdir.ident, "mine"))
+    testbed.sim.run(until=testbed.sim.now + 300.0)
+    theirs = _server_file(testbed, "build")
+    assert theirs is not None and theirs.otype is ObjectType.DIRECTORY
+    recovered = _server_file(testbed, "build.conflict")
+    assert recovered is not None
+    assert recovered.otype is ObjectType.DIRECTORY
+
+
+def test_symlink_collision_recovers_with_target_preserved():
+    """A symlink that collides recreates as <name>.conflict and keeps
+    pointing where the local one pointed."""
+    from repro.fs import ObjectType
+    testbed = _disconnected_testbed()
+    venus = testbed.venus
+    testbed.run(venus.symlink("a.txt", M + "/dir/latest"))
+    _plant_on_server(testbed, "latest", ObjectType.SYMLINK, target="b.txt")
+    conflicts = _reconnect_and_confine(testbed)
+    sym = [c for c in conflicts if c.record.op.value == "symlink"][0]
+    testbed.run(venus.repair(sym.ident, "mine"))
+    testbed.sim.run(until=testbed.sim.now + 300.0)
+    assert _server_file(testbed, "latest").target == "b.txt"
+    recovered = _server_file(testbed, "latest.conflict")
+    assert recovered is not None
+    assert recovered.otype is ObjectType.SYMLINK
+    assert recovered.target == "a.txt"
+
+
+def test_removed_file_store_recovers_beside_the_original():
+    """keep='mine' on an update/remove conflict recreates the file as
+    <name>.conflict — the file variant of the recovery rename."""
+    testbed = _disconnected_testbed()
+    venus = testbed.venus
+    testbed.run(venus.write_file(M + "/dir/a.txt", b"survivor"))
+    # The other client removes the object entirely, server-side.
+    volume = testbed.volume
+    d = volume.require(volume.root.lookup("dir"))
+    doomed = volume.get(d.lookup("a.txt"))
+    del d.children["a.txt"]
+    volume.remove(doomed.fid)
+    volume.bump(d, 1.0)
+    conflicts = _reconnect_and_confine(testbed)
+    store = [c for c in conflicts if c.record.op.value == "store"][0]
+    testbed.run(venus.repair(store.ident, "mine"))
+    testbed.sim.run(until=testbed.sim.now + 300.0)
+    assert _server_file(testbed, "a.txt") is None
+    recovered = _server_file(testbed, "a.txt.conflict")
+    assert recovered is not None
+    assert recovered.content == Content.of(b"survivor")
+
+
 def test_unresolved_conflicts_survive_listing():
     testbed = conflicted_testbed()
     venus = testbed.venus
