@@ -1,0 +1,52 @@
+"""Toy scenarios that exercise the analysis tooling on itself.
+
+``clean_scenario`` honors the determinism contract and must survive
+any perturbation; ``divergent_scenario`` deliberately schedules out of
+a ``set`` of strings, the canonical hash-order hazard, so the
+divergence detector has a guaranteed positive to find (and the test
+suite can assert it pinpoints the first divergent event).  Both run in
+child interpreters via ``mod:repro.analysis.selftest:<name>``.
+"""
+
+from repro.obs import Observatory
+from repro.sim import Simulator
+
+#: Enough names that two hash seeds almost surely order them apart.
+_LINKS = tuple("probe-%s" % token for token in
+               ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+                "golf", "hotel", "india", "juliet", "kilo", "lima"))
+
+
+def _emit(sim, name, delay):
+    def probe():
+        yield sim.timeout(delay)
+        obs = sim.obs
+        if obs.enabled:
+            obs.event("packet_drop", link=name, reason="loss", bytes=1)
+    sim.process(probe(), name=name)
+
+
+def clean_scenario(observatory=None):
+    """Schedules from a sorted view: identical under any hash seed."""
+    sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
+    for delay, name in enumerate(sorted(set(_LINKS))):
+        _emit(sim, name, 1.0 + delay)
+    sim.run()
+    return sim
+
+
+def divergent_scenario(observatory=None):
+    """Schedules straight out of a set: hash-order dependent."""
+    sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
+    delay = 0
+    # repro: allow[DET003] deliberate hash-order hazard: this is the planted
+    # nondeterminism the divergence-detector self-test must locate.
+    for name in set(_LINKS):
+        delay += 1
+        _emit(sim, name, float(delay))
+    sim.run()
+    return sim

@@ -24,6 +24,7 @@ from repro.bench.common import make_testbed, populate_volume, warm_cache
 from repro.bench.results import Table
 from repro.fs.content import SyntheticContent
 from repro.net import ETHERNET, MODEM
+from repro.sim.rand import derive_rng
 from repro.trace.replay import TraceReplayer
 from repro.trace.segments import segment_by_name
 from repro.venus import VenusConfig
@@ -227,10 +228,9 @@ def run_false_sharing_ablation(volume_counts=(1, 2, 4, 8, 16),
     With one giant volume every stamp is invalidated by any update
     (false sharing); with many volumes most stamps survive.
     """
-    import random
     rows = []
     for n_volumes in volume_counts:
-        rng = random.Random("false-sharing::%d::%d" % (n_volumes, seed))
+        rng = derive_rng("false-sharing", n_volumes, seed)
         config = VenusConfig(start_daemons=False)
         testbed = make_testbed(ETHERNET, venus_config=config)
         per_volume = total_files // n_volumes

@@ -51,7 +51,10 @@ def make_testbed(profile, venus_config=None, user=None, seed=0,
         observatory.install(sim)
     streams = RandomStreams(seed)
     sim.rand = streams
-    net = Network(sim, rng=streams.stream("net"))
+    # No network-level rng: links derive per-direction loss streams
+    # ("link.loss::<src>-><dst>") from sim.rand, so the directions of a
+    # link — and distinct links — draw independently.
+    net = Network(sim)
     overrides = {}
     if loss_rate is not None:
         overrides["loss_rate"] = loss_rate

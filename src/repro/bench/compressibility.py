@@ -12,10 +12,10 @@ spanning the same workload mixes (one-shot-heavy mail sessions to
 compile-loop marathons) and pushed through the CML simulator.
 """
 
-import random
 from dataclasses import dataclass
 
 from repro.bench.results import Table
+from repro.sim.rand import derive_rng
 from repro.trace.generate import SegmentSpec, generate_segment
 from repro.trace.simulator import CmlSimulator
 
@@ -89,7 +89,7 @@ class CompressibilityResult:
 
 def run_compressibility_study(population=60, seed=7):
     """Generate the segment population; returns CompressibilityResult."""
-    rng = random.Random("compressibility::%d" % seed)
+    rng = derive_rng("compressibility", seed)
     kept = []
     examined = 0
     index = 0

@@ -54,8 +54,10 @@ def run_patience_analysis(model=None):
     return model, points
 
 
-def curve_table(model=None, priorities=range(0, 1001, 100)):
+def curve_table(model=None, priorities=None):
     model = model or PatienceModel()
+    if priorities is None:
+        priorities = range(0, 1001, 100)
     table = Table(
         "Figure 7: Patience Threshold (largest transparently fetched "
         "file, by priority and bandwidth)",

@@ -14,12 +14,12 @@ validation time; the reduction is modest at 10 Mb/s and dramatic at
 at 10 Mb/s".
 """
 
-import random
 from dataclasses import dataclass
 
 from repro.bench.common import make_testbed, populate_volume, warm_cache
 from repro.bench.results import Table
 from repro.net import ETHERNET, ISDN, MODEM, WAVELAN
+from repro.sim.rand import derive_rng
 from repro.venus import VenusConfig
 
 
@@ -56,7 +56,7 @@ NETWORKS = (ETHERNET, WAVELAN, ISDN, MODEM)
 
 
 def _profile_tree(profile, volume_index):
-    rng = random.Random("hoard::%s::%d" % (profile.user, volume_index))
+    rng = derive_rng("hoard", profile.user, volume_index)
     mount = "/coda/%s/v%02d" % (profile.user, volume_index)
     tree = {mount + "/files": ("dir", 0)}
     for i in range(profile.files_per_volume):

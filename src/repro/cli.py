@@ -14,6 +14,8 @@
     python -m repro trace-export --segment holst --out holst.trace
     python -m repro obs --scenario trickle --out trickle.jsonl
     python -m repro faults --scenario smoke
+    python -m repro lint                 # determinism linter
+    python -m repro check-determinism --scenario faults:smoke
 """
 
 import argparse
@@ -116,6 +118,26 @@ def _cmd_trace_export(args):
           % (args.out, segment.references, segment.updates))
 
 
+def _make_checker(args):
+    """The optional invariant checker for obs/faults runs."""
+    if not getattr(args, "check_invariants", False):
+        return None
+    from repro.analysis.invariants import InvariantChecker
+    return InvariantChecker(strict=False)
+
+
+def _report_invariants(checker):
+    """Print the checker's verdict; exit 1 on violations."""
+    if checker is None:
+        return
+    checker.check_all()
+    print(checker.summary())
+    if checker.violations:
+        for violation in checker.violations:
+            print("  " + violation.format())
+        raise SystemExit(1)
+
+
 def _cmd_obs(args):
     from repro.obs import Observatory, report
     from repro.obs.export import (write_events_csv, write_events_jsonl,
@@ -123,10 +145,12 @@ def _cmd_obs(args):
     from repro.obs.scenarios import run_scenario
 
     observatory = Observatory()
+    checker = _make_checker(args)
     try:
-        run_scenario(args.scenario, observatory=observatory)
+        run_scenario(args.scenario, observatory=observatory,
+                     checker=checker)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     if args.out:
         write_events_jsonl(observatory.trace.events, args.out)
         print("wrote %d events to %s"
@@ -141,6 +165,7 @@ def _cmd_obs(args):
         write_metrics_csv(observatory.metrics, args.metrics_csv)
         print("wrote %s" % args.metrics_csv)
     print(report.summary(observatory))
+    _report_invariants(checker)
 
 
 def _cmd_faults(args):
@@ -149,11 +174,13 @@ def _cmd_faults(args):
     from repro.obs.export import write_events_jsonl
 
     observatory = Observatory()
+    checker = _make_checker(args)
     try:
         testbed = run_fault_scenario(args.scenario,
-                                     observatory=observatory)
+                                     observatory=observatory,
+                                     checker=checker)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     injector = testbed.faults
     print("fault scenario %r: %d action(s) injected"
           % (args.scenario, len(injector.log)))
@@ -171,6 +198,25 @@ def _cmd_faults(args):
                 continue
             print("  %-28s %s" % (key, digest[key]))
     print(report.summary(observatory))
+    _report_invariants(checker)
+
+
+def _cmd_lint(args):
+    from repro.analysis import lint
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.rules:
+        argv.append("--rules")
+    raise SystemExit(lint.main(argv))
+
+
+def _cmd_check_determinism(args):
+    from repro.analysis import divergence
+    argv = ["--scenario", args.scenario, "--context", str(args.context)]
+    if args.json:
+        argv.append("--json")
+    raise SystemExit(divergence.main(argv))
 
 
 def build_parser():
@@ -232,6 +278,9 @@ def build_parser():
                    help="write final metrics as JSONL")
     p.add_argument("--metrics-csv", default=None,
                    help="write final metrics as CSV")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="run the cross-component invariant checker; "
+                        "exit 1 on any violation")
     p.set_defaults(fn=_cmd_obs)
 
     p = sub.add_parser(
@@ -243,7 +292,35 @@ def build_parser():
                    help="write the event timeline as JSONL")
     p.add_argument("--fingerprint", action="store_true",
                    help="print the final-state fingerprint counters")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="run the cross-component invariant checker; "
+                        "exit 1 on any violation")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism linter over the simulation source "
+             "(exit 0 clean, 1 findings)")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories (default: the repro package)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings")
+    p.add_argument("--rules", action="store_true",
+                   help="list the rules and exit")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "check-determinism",
+        help="run a scenario under perturbed hash seeds and decoy "
+             "streams; exit 1 on timeline divergence")
+    p.add_argument("--scenario", default="obs:trickle",
+                   help="obs:<name> | faults:<name> | "
+                        "mod:<module>:<function> (default: obs:trickle)")
+    p.add_argument("--context", type=int, default=3,
+                   help="events of context shown around a divergence")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(fn=_cmd_check_determinism)
 
     return parser
 

@@ -86,18 +86,22 @@ def fault_fingerprint(testbed):
     return digest
 
 
-def _faulted_testbed(config, plan, observatory, schedule_log, seed=0):
+def _faulted_testbed(config, plan, observatory, schedule_log, seed=0,
+                     checker=None):
     testbed = make_testbed(MODEM, venus_config=config, seed=seed,
                            observatory=observatory)
     if schedule_log is not None:
         _probe_schedule(testbed.sim, schedule_log)
+    if checker is not None:
+        checker.attach(testbed)
     _standard_volume(testbed)
     testbed.faults = FaultInjector(testbed, plan)
     testbed.faults.start()
     return testbed
 
 
-def smoke_scenario(observatory=None, schedule_log=None, plan=None):
+def smoke_scenario(observatory=None, schedule_log=None, plan=None,
+                   checker=None):
     """Everything once, briefly: outage, loss burst, client crash.
 
     A write-disconnected modem client logs updates through a link
@@ -117,7 +121,8 @@ def smoke_scenario(observatory=None, schedule_log=None, plan=None):
     # through *rapid* validation, Figures 8-9.
     config = VenusConfig(aging_window=30.0, daemon_period=5.0,
                          probe_interval=30.0, hoard_walk_interval=120.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
+                               checker=checker)
     sim = testbed.sim
 
     def session():
@@ -149,7 +154,8 @@ def smoke_scenario(observatory=None, schedule_log=None, plan=None):
     return testbed
 
 
-def client_crash_scenario(observatory=None, schedule_log=None, plan=None):
+def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
+                          checker=None):
     """A client dies mid-trickle and resumes from the barrier.
 
     A large store is being trickled when Venus crashes; the restart
@@ -163,7 +169,8 @@ def client_crash_scenario(observatory=None, schedule_log=None, plan=None):
         ])
     config = VenusConfig(aging_window=30.0, daemon_period=5.0,
                          probe_interval=30.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
+                               checker=checker)
     sim = testbed.sim
 
     def session():
@@ -185,7 +192,8 @@ def client_crash_scenario(observatory=None, schedule_log=None, plan=None):
     return testbed
 
 
-def server_crash_scenario(observatory=None, schedule_log=None, plan=None):
+def server_crash_scenario(observatory=None, schedule_log=None, plan=None,
+                          checker=None):
     """A server dies mid-reintegration and comes back 30 s later.
 
     The store (namespace, volume stamps, applied-record marks)
@@ -201,7 +209,8 @@ def server_crash_scenario(observatory=None, schedule_log=None, plan=None):
         ])
     config = VenusConfig(aging_window=20.0, daemon_period=5.0,
                          probe_interval=30.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log)
+    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
+                               checker=checker)
     sim = testbed.sim
 
     def session():
@@ -230,12 +239,17 @@ FAULT_SCENARIOS = {
 
 
 def run_fault_scenario(name, observatory=None, schedule_log=None,
-                       plan=None):
-    """Run fault scenario ``name``; returns the finished testbed."""
+                       plan=None, checker=None):
+    """Run fault scenario ``name``; returns the finished testbed.
+
+    ``checker`` optionally attaches an
+    :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
+    before the workload runs (requires ``observatory``).
+    """
     try:
         scenario = FAULT_SCENARIOS[name]
     except KeyError:
         raise ValueError("unknown fault scenario %r (have %s)"
-                         % (name, ", ".join(sorted(FAULT_SCENARIOS))))
+                         % (name, ", ".join(sorted(FAULT_SCENARIOS)))) from None
     return scenario(observatory=observatory, schedule_log=schedule_log,
-                    plan=plan)
+                    plan=plan, checker=checker)

@@ -9,6 +9,8 @@ the paper's adaptive chunk sizing exists to bound.
 
 from dataclasses import dataclass
 
+from repro.sim.rand import derive_rng
+
 
 @dataclass
 class LinkStats:
@@ -20,6 +22,7 @@ class LinkStats:
     packets_dropped_down: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    bytes_lost: int = 0
     bytes_dropped_down: int = 0
 
     def reset(self):
@@ -29,6 +32,7 @@ class LinkStats:
         self.packets_dropped_down = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
+        self.bytes_lost = 0
         self.bytes_dropped_down = 0
 
 
@@ -53,6 +57,10 @@ class LinkDirection:
         self._busy_until = 0.0
         self.up = True
         self.stats = LinkStats()
+        #: Bytes scheduled for delivery but not yet delivered or
+        #: dropped; together with the stats this gives byte
+        #: conservation: sent = delivered + lost + dropped + in flight.
+        self.bytes_in_flight = 0
 
     def transmission_time(self, size_bytes):
         """Seconds to serialize ``size_bytes`` onto the wire."""
@@ -94,6 +102,7 @@ class LinkDirection:
         self._busy_until = done
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.stats.packets_lost += 1
+            self.stats.bytes_lost += datagram.size
             if obs.enabled:
                 obs.metrics.counter("link.packets_dropped",
                                     link=self.label, reason="loss").inc()
@@ -101,11 +110,13 @@ class LinkDirection:
                           bytes=datagram.size)
             return
         arrival_delay = (done - self.sim.now) + self.latency
+        self.bytes_in_flight += datagram.size
         self.sim.process(self._delayed_delivery(arrival_delay, datagram))
 
     def _delayed_delivery(self, delay, datagram):
         yield self.sim.timeout(delay)
         obs = self.sim.obs
+        self.bytes_in_flight -= datagram.size
         if not self.up:
             # The link dropped while the packet was in flight.
             self.stats.packets_dropped_down += 1
@@ -141,22 +152,45 @@ class Link:
                  latency=0.001, loss_rate=0.0, bits_per_byte=8,
                  bandwidth_up_bps=None, rng=None, deliver=None,
                  header_savings=0):
-        if rng is None:
-            import random
-            rng = random.Random(0)
         self.sim = sim
         self.node_a = node_a
         self.node_b = node_b
         self.name = "%s<->%s" % (node_a, node_b)
         deliver = deliver or (lambda datagram: None)
+        forward_label = "%s->%s" % (node_a, node_b)
+        backward_label = "%s->%s" % (node_b, node_a)
+        if rng is not None:
+            # An explicit rng is the caller taking charge of loss
+            # sequencing (e.g. the transport benchmark varies it per
+            # trial); both directions share it, as before.
+            forward_rng = backward_rng = rng
+        else:
+            # Default: independent per-direction generators named by
+            # the direction label, so forward losses never perturb
+            # backward draws and no two links share a sequence.
+            forward_rng = self._direction_rng(forward_label)
+            backward_rng = self._direction_rng(backward_label)
         self.forward = LinkDirection(
             sim, bandwidth_up_bps or bandwidth_bps, latency, loss_rate,
-            bits_per_byte, rng, deliver, header_savings=header_savings,
-            label="%s->%s" % (node_a, node_b))
+            bits_per_byte, forward_rng, deliver,
+            header_savings=header_savings, label=forward_label)
         self.backward = LinkDirection(
             sim, bandwidth_bps, latency, loss_rate,
-            bits_per_byte, rng, deliver, header_savings=header_savings,
-            label="%s->%s" % (node_b, node_a))
+            bits_per_byte, backward_rng, deliver,
+            header_savings=header_savings, label=backward_label)
+
+    def _direction_rng(self, label):
+        """Loss generator for one direction, keyed by its label.
+
+        Drawn from the simulator's named streams when present (so the
+        testbed seed governs it); a bare simulator falls back to a
+        generator derived from the label alone, which is still
+        deterministic and still independent per direction.
+        """
+        streams = getattr(self.sim, "rand", None)
+        if streams is not None:
+            return streams.stream("link.loss::%s" % label)
+        return derive_rng("link.loss", label)
 
     @property
     def up(self):
@@ -215,5 +249,6 @@ class Link:
             total.packets_dropped_down += direction.stats.packets_dropped_down
             total.bytes_sent += direction.stats.bytes_sent
             total.bytes_delivered += direction.stats.bytes_delivered
+            total.bytes_lost += direction.stats.bytes_lost
             total.bytes_dropped_down += direction.stats.bytes_dropped_down
         return total

@@ -58,12 +58,20 @@ class Network:
         self._sockets = {}
 
     def add_link(self, node_a, node_b, profile=None, **overrides):
-        """Create a link, optionally from a :class:`NetworkProfile`."""
+        """Create a link, optionally from a :class:`NetworkProfile`.
+
+        With no network-level ``rng`` (the default), each link derives
+        independent per-direction loss generators from the simulator's
+        named streams; passing one shares a single loss sequence across
+        every link and both directions — callers like the transport
+        benchmark use that to vary whole trials by one seed.
+        """
         parameters = {}
         if profile is not None:
             parameters.update(profile.link_kwargs())
         parameters.update(overrides)
-        parameters.setdefault("rng", self._rng)
+        if self._rng is not None:
+            parameters.setdefault("rng", self._rng)
         link = Link(self.sim, node_a, node_b,
                     deliver=self._deliver, **parameters)
         self._links[frozenset((node_a, node_b))] = link

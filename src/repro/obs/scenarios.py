@@ -23,6 +23,9 @@ def _probe_schedule(sim, schedule_log):
     original_step = sim.step
 
     def probed_step():
+        # repro: allow[SIM001] read-only peek at the next dispatch key; the
+        # determinism regression tests need the raw (time, priority, seq)
+        # order and this probe never mutates the heap.
         schedule_log.append(sim._queue[0][:3])
         original_step()
 
@@ -41,7 +44,7 @@ def _standard_volume(testbed):
     return volume
 
 
-def trickle_scenario(observatory=None, schedule_log=None):
+def trickle_scenario(observatory=None, schedule_log=None, checker=None):
     """The weak-link trickle workload (examples/weak_link_trickle.py).
 
     A write-disconnected client over a 9.6 Kb/s modem: an overwrite
@@ -55,6 +58,8 @@ def trickle_scenario(observatory=None, schedule_log=None):
                            observatory=observatory)
     if schedule_log is not None:
         _probe_schedule(testbed.sim, schedule_log)
+    if checker is not None:
+        checker.attach(testbed)
     _standard_volume(testbed)
     venus = testbed.venus
     sim = testbed.sim
@@ -79,7 +84,7 @@ def trickle_scenario(observatory=None, schedule_log=None):
     return testbed
 
 
-def outage_scenario(observatory=None, schedule_log=None):
+def outage_scenario(observatory=None, schedule_log=None, checker=None):
     """Intermittence over WaveLAN: outages, reconnection, validation.
 
     Exercises link_up/link_down events, disconnected operation, the
@@ -91,6 +96,8 @@ def outage_scenario(observatory=None, schedule_log=None):
                            observatory=observatory)
     if schedule_log is not None:
         _probe_schedule(testbed.sim, schedule_log)
+    if checker is not None:
+        checker.attach(testbed)
     _standard_volume(testbed)
     venus = testbed.venus
     sim = testbed.sim
@@ -120,14 +127,20 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name, observatory=None, schedule_log=None):
-    """Run scenario ``name``; returns the finished testbed."""
+def run_scenario(name, observatory=None, schedule_log=None, checker=None):
+    """Run scenario ``name``; returns the finished testbed.
+
+    ``checker`` optionally attaches an
+    :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
+    before the workload runs (requires ``observatory``).
+    """
     try:
         scenario = SCENARIOS[name]
     except KeyError:
         raise ValueError("unknown scenario %r (have %s)"
-                         % (name, ", ".join(sorted(SCENARIOS))))
-    return scenario(observatory=observatory, schedule_log=schedule_log)
+                         % (name, ", ".join(sorted(SCENARIOS)))) from None
+    return scenario(observatory=observatory, schedule_log=schedule_log,
+                    checker=checker)
 
 
 def fingerprint(testbed):

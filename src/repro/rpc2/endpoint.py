@@ -456,7 +456,7 @@ class Rpc2Connection:
                                               owner=endpoint.node)
                         except TransferAborted as aborted:
                             endpoint.liveness.mark_unreachable(self.peer)
-                            raise ConnectionDead(str(aborted))
+                            raise ConnectionDead(str(aborted)) from aborted
                         finally:
                             endpoint._expire_transfer(store_tid,
                                                       receiver=False)

@@ -62,6 +62,17 @@ class CallbackRegistry:
         for holders in self._volume_holders.values():
             holders.discard(client)
 
+    def total_promises(self):
+        """Outstanding promises across all objects and volumes.
+
+        The invariant checker uses this to assert the registry is
+        volatile: a freshly restarted server must report zero.
+        """
+        return (sum(len(holders) for holders in
+                    self._object_holders.values())
+                + sum(len(holders) for holders in
+                      self._volume_holders.values()))
+
     def object_holder_count(self, fid):
         return len(self._object_holders.get(fid, ()))
 

@@ -117,8 +117,10 @@ class CodaServer:
         for client in volume_clients:
             notify.setdefault(client, {"fids": [], "volumes": []})
             notify[client]["volumes"].append(fid.volume)
-        for client, breaks in notify.items():
-            self.sim.process(self._deliver_break(client, breaks),
+        # notify was populated from hash-ordered holder sets, so pick a
+        # canonical delivery order before scheduling anything.
+        for client in sorted(notify):
+            self.sim.process(self._deliver_break(client, notify[client]),
                              name="break-%s" % client, owner=self.node)
 
     def _deliver_break(self, client, breaks):
@@ -191,7 +193,9 @@ class CodaServer:
         Valid stamps acquire a volume callback as a side effect.
         """
         results = {}
-        for volid, stamp in args["stamps"].items():
+        # Canonical processing order: the reply timing must not depend
+        # on how the client happened to assemble its stamp dict.
+        for volid, stamp in sorted(args["stamps"].items()):
             yield self.sim.timeout(self.costs.per_object_validate)
             try:
                 volume = self.registry.by_id(volid)

@@ -9,6 +9,23 @@ run-to-run reproducibility of the benchmark tables.
 import random
 
 
+def derive_rng(*parts):
+    """The one sanctioned way to build a standalone ``random.Random``.
+
+    Joins ``parts`` with ``::`` into a stable string seed — e.g.
+    ``derive_rng("hoard", "user1", 3)`` seeds with ``"hoard::user1::3"``
+    — so callers that historically seeded with hand-formatted strings
+    keep byte-identical sequences (the benchmark tables must not
+    shift).  Components with a live simulator should prefer the named
+    streams of :class:`RandomStreams`; this helper exists for code that
+    derives generators *before* a simulator exists (trace generation,
+    benchmark population synthesis) and is the only call site of
+    ``random.Random`` the determinism linter (DET002) permits outside
+    this module.
+    """
+    return random.Random("::".join(str(part) for part in parts))
+
+
 class RandomStreams:
     """A family of independent :class:`random.Random` generators.
 

@@ -64,6 +64,9 @@ class SegmentSpec:
     update_anchor: tuple = (0.0, 1.0)
 
     def rng(self):
+        # repro: allow[DET002] spec-level seed derivation: the seed string is
+        # part of the published segment identity (Figure 11/14 tables), and no
+        # simulator exists yet when a spec generates its trace.
         return random.Random("segment::%s::%s" % (self.name, self.seed))
 
 
@@ -233,6 +236,9 @@ class WeekTraceSpec:
     mount: str = "/coda/usr/trace"
 
     def rng(self):
+        # repro: allow[DET002] week-trace seed derivation: same contract as
+        # SegmentSpec.rng — a stable pre-simulation seed string frozen by the
+        # Figure 4 aging tables.
         return random.Random("week::%s::%s" % (self.name, self.seed))
 
 

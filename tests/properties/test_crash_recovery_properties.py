@@ -51,7 +51,8 @@ def _apply_ops(testbed, venus, ops, start, model):
         other_path = MOUNT + "/work/" + other
         content = SyntheticContent(size, tag=("prop", index))
 
-        def step():
+        def step(kind=kind, name=name, other=other, path=path,
+                 other_path=other_path, content=content):
             if kind == "write":
                 if model.get(name, "file") != "file":
                     return
