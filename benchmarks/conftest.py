@@ -4,9 +4,25 @@ Each benchmark runs its experiment exactly once inside
 ``benchmark.pedantic`` (the experiments are deterministic simulations;
 wall-clock repetition adds nothing) and then prints the reproduced
 table next to the paper's values.
+
+``REPRO_FAST=1`` selects the smoke mode: every figure runs at reduced
+scale (fewer traces, networks, clients, and cells) with shape-level
+assertions instead of the paper's quantitative ones.  It exists so CI
+can prove the whole bench pipeline executes end to end in well under a
+minute; paper-fidelity claims are only checked by the full run.
+``REPRO_FULL=1`` (fig 9) and ``REPRO_QUICK=1`` (fig 12) still select
+the larger grids when fast mode is off.
 """
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session")
+def fast():
+    """True when ``REPRO_FAST=1`` selects reduced-scale smoke runs."""
+    return bool(os.environ.get("REPRO_FAST"))
 
 
 @pytest.fixture

@@ -3,7 +3,14 @@
 from repro.bench import ablations
 
 
-def test_ablation_chunk_budget(once):
+def test_ablation_chunk_budget(once, fast):
+    if fast:
+        rows = once(lambda: ablations.run_chunk_ablation(
+            budgets=(30.0, None), backlog_files=3))
+        ablations.chunk_table(rows).show()
+        by = {row.chunk_seconds: row for row in rows}
+        assert by[30.0].miss_latency < by["whole log"].miss_latency
+        return
     rows = once(ablations.run_chunk_ablation)
     ablations.chunk_table(rows).show()
     by = {row.chunk_seconds: row for row in rows}
@@ -18,7 +25,16 @@ def test_ablation_chunk_budget(once):
     assert by[30.0].miss_latency < 130.0
 
 
-def test_ablation_aging_replay(once):
+def test_ablation_aging_replay(once, fast):
+    if fast:
+        rows = once(lambda: ablations.run_aging_replay_ablation(
+            windows=(0.0, 600.0)))
+        ablations.aging_replay_table(rows).show()
+        by_window = {row.aging_window: row for row in rows}
+        assert by_window[0.0].shipped_kb >= by_window[600.0].shipped_kb
+        assert by_window[600.0].optimized_kb >= \
+            by_window[0.0].optimized_kb
+        return
     rows = once(ablations.run_aging_replay_ablation)
     ablations.aging_replay_table(rows).show()
     by_window = {row.aging_window: row for row in rows}
@@ -32,7 +48,15 @@ def test_ablation_aging_replay(once):
     assert savings == sorted(savings)
 
 
-def test_ablation_log_optimizations(once):
+def test_ablation_log_optimizations(once, fast):
+    if fast:
+        reports = once(lambda: ablations.run_logopt_ablation(
+            segment_name="purcell"))
+        ablations.logopt_table(reports).show()
+        on, off = reports[True], reports[False]
+        assert off.optimized_bytes == 0
+        assert on.optimized_bytes > 0
+        return
     reports = once(ablations.run_logopt_ablation)
     ablations.logopt_table(reports).show()
     on, off = reports[True], reports[False]
@@ -47,7 +71,13 @@ def test_ablation_log_optimizations(once):
     assert on.optimized_bytes > 10 * 1024 * 1024
 
 
-def test_ablation_false_sharing(once):
+def test_ablation_false_sharing(once, fast):
+    if fast:
+        rows = once(lambda: ablations.run_false_sharing_ablation(
+            volume_counts=(1, 8), total_files=48))
+        ablations.false_sharing_table(rows).show()
+        assert rows[0].success_fraction <= rows[-1].success_fraction
+        return
     rows = once(ablations.run_false_sharing_ablation)
     ablations.false_sharing_table(rows).show()
 
@@ -61,7 +91,15 @@ def test_ablation_false_sharing(once):
     assert saved[-1] > saved[0]
 
 
-def test_ablation_header_compression(once):
+def test_ablation_header_compression(once, fast):
+    if fast:
+        rows = once(lambda: ablations.run_header_compression_ablation(
+            transfer_bytes=50_000))
+        ablations.compression_table(rows).show()
+        plain, compressed = rows[0], rows[1]
+        assert plain.goodput_kbps > 0
+        assert compressed.goodput_kbps >= plain.goodput_kbps
+        return
     rows = once(ablations.run_header_compression_ablation)
     ablations.compression_table(rows).show()
     plain, compressed = rows[0], rows[1]
@@ -91,7 +129,15 @@ def test_extension_cost_aware_adaptation(once):
     assert phone.money_spent > 0.5
 
 
-def test_ablation_shared_keepalives(once):
+def test_ablation_shared_keepalives(once, fast):
+    if fast:
+        rows = once(lambda: ablations.run_keepalive_ablation(
+            idle_hours=0.25))
+        ablations.keepalive_table(rows).show()
+        by = {row.scheme: row for row in rows}
+        assert by["shared"].bytes_per_hour < \
+            by["duplicated"].bytes_per_hour
+        return
     rows = once(ablations.run_keepalive_ablation)
     ablations.keepalive_table(rows).show()
     by = {row.scheme: row for row in rows}

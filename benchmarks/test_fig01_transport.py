@@ -3,7 +3,15 @@
 from repro.bench import transport
 
 
-def test_fig01_transport(once):
+def test_fig01_transport(once, fast):
+    if fast:
+        rows = once(lambda: transport.run_transport_comparison(trials=1))
+        transport.format_table(rows).show()
+        # Smoke shape: both protocols on every network moved data.
+        assert len(rows) == 6
+        for row in rows:
+            assert row.send_kbps > 0 and row.receive_kbps > 0
+        return
     rows = once(transport.run_transport_comparison)
     transport.format_table(rows).show()
     by = {(r.protocol, r.network): r for r in rows}

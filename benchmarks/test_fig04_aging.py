@@ -3,7 +3,20 @@
 from repro.bench import aging
 
 
-def test_fig04_aging_curves(once):
+def test_fig04_aging_curves(once, fast):
+    if fast:
+        # Two traces, four windows (the reference window must stay so
+        # normalized() has its denominator).
+        windows = (300, 600, 3600, 14400)
+        results = once(lambda: aging.run_aging_analysis(
+            windows=windows, traces=["holst", "purcell"]))
+        aging.format_table(results, windows=windows).show()
+        assert set(results) == {"holst", "purcell"}
+        for result in results.values():
+            values = [result.savings[w] for w in sorted(result.savings)]
+            assert values == sorted(values)
+            assert result.reference_bytes > 0
+        return
     results = once(aging.run_aging_analysis)
     aging.format_table(results).show()
 

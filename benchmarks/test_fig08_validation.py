@@ -3,7 +3,16 @@
 from repro.bench import validation
 
 
-def test_fig08_validation(once):
+def test_fig08_validation(once, fast):
+    if fast:
+        results = once(lambda: validation.run_validation_comparison(
+            profiles=validation.PROFILES[:1],
+            networks=(validation.ETHERNET, validation.MODEM)))
+        validation.format_table(results).show()
+        assert len(results) == 2
+        for row in results:
+            assert row.volume_seconds < row.object_seconds, row
+        return
     results = once(validation.run_validation_comparison)
     validation.format_table(results).show()
 

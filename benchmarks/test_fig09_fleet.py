@@ -5,19 +5,29 @@ import os
 from repro.bench import fleet
 
 
-def _config():
+def _config(fast=False):
     # The full four-week, 26-client study takes a few minutes; the
     # default reproduces the same statistics over two weeks.  Set
     # REPRO_FULL=1 for the paper-scale run.
+    if fast:
+        return fleet.FleetConfig(desktops=4, laptops=2, days=1.0)
     if os.environ.get("REPRO_FULL"):
         return fleet.FleetConfig(days=28.0)
     return fleet.FleetConfig(days=10.0)
 
 
-def test_fig09_fleet(once):
-    desktops, laptops = once(lambda: fleet.run_fleet_study(_config()))
+def test_fig09_fleet(once, fast):
+    desktops, laptops = once(
+        lambda: fleet.run_fleet_study(_config(fast=fast)))
     for table in fleet.format_tables(desktops, laptops):
         table.show()
+    if fast:
+        everyone = desktops + laptops
+        assert len(everyone) == 6
+        for report in everyone:
+            assert report.attempts > 0
+            assert 0.0 <= report.success_pct <= 100.0
+        return
 
     everyone = desktops + laptops
     mean = lambda xs: sum(xs) / len(xs)

@@ -3,7 +3,14 @@
 from repro.bench import compressibility
 
 
-def test_fig10_compressibility(once):
+def test_fig10_compressibility(once, fast):
+    if fast:
+        result = once(lambda: compressibility.run_compressibility_study(
+            population=18, seed=7))
+        compressibility.format_table(result).show()
+        assert result.segments_kept >= 5
+        assert all(0.0 <= c <= 1.0 for c in result.compressibilities)
+        return
     result = once(compressibility.run_compressibility_study)
     compressibility.format_table(result).show()
 

@@ -3,7 +3,16 @@
 from repro.bench import segments
 
 
-def test_fig11_segments(once):
+def test_fig11_segments(once, fast):
+    if fast:
+        results = once(lambda: segments.run_segment_characterization(
+            names=("purcell",)))
+        segments.format_table(results).show()
+        (row,) = results
+        assert row.references > 0 and row.updates > 0
+        assert row.opt_kb <= row.unopt_kb
+        assert 0.0 <= row.compressibility <= 1.0
+        return
     results = once(segments.run_segment_characterization)
     segments.format_table(results).show()
 

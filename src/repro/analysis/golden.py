@@ -1,0 +1,186 @@
+"""Golden-schedule regression fixtures: pinned obs-timeline digests.
+
+``repro check-determinism`` proves a scenario's timeline is stable
+*across perturbations of one tree*; this module pins the timeline
+*across trees*.  Each golden scenario's obs timeline is hashed
+(sha256 over the canonical event lines from
+:mod:`repro.analysis.divergence`) and compared against a committed
+fixture.  Any change to scheduling order, event payloads, or event
+counts — including "harmless" performance work — flips the digest and
+fails the check.
+
+That makes the fixtures the enforcement mechanism for this repo's
+optimization rule: a fast path is only admissible if it is
+*schedule-identical*, i.e. every golden digest is unchanged.
+
+Regenerating after an intentional semantic change::
+
+    python -m repro golden --regen
+
+and commit the updated ``tests/golden/timelines.json`` alongside the
+change that justified it.
+"""
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from repro.analysis.divergence import _canonical, capture_timeline
+
+#: The pinned scenarios: every obs/faults canned scenario plus the
+#: perf micro-fleet, so kernel, transport, cache, and multi-client
+#: scheduling paths are all covered.
+GOLDEN_SCENARIOS = (
+    "obs:trickle",
+    "obs:outage",
+    "faults:smoke",
+    "faults:client-crash",
+    "faults:server-crash",
+    "mod:repro.perf.scenarios:fleet_golden",
+)
+
+#: Repo-relative fixture location (the CLI runs from the repo root;
+#: tests resolve it from their own path instead).
+DEFAULT_FIXTURE = os.path.join("tests", "golden", "timelines.json")
+
+FIXTURE_SCHEMA = "repro.golden/1"
+
+
+def timeline_digest(spec):
+    """``(sha256 hexdigest, event count)`` of ``spec``'s obs timeline."""
+    lines = [_canonical(event) for event in capture_timeline(spec)]
+    blob = "\n".join(lines).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest(), len(lines)
+
+
+@dataclass
+class GoldenMismatch:
+    """One scenario whose live digest disagrees with the fixture."""
+
+    scenario: str
+    expected: str       # fixture sha256, or None if the spec is new
+    actual: str
+    expected_events: int
+    actual_events: int
+
+    def format(self):
+        if self.expected is None:
+            return ("%s: not in fixture (live digest %s, %d events) — "
+                    "regen required" % (self.scenario, self.actual[:16],
+                                        self.actual_events))
+        return ("%s: digest %s… != fixture %s… (%d vs %d events)"
+                % (self.scenario, self.actual[:16], self.expected[:16],
+                   self.actual_events, self.expected_events))
+
+
+def capture_digests(scenarios=GOLDEN_SCENARIOS):
+    """{spec: {"sha256": ..., "events": N}} for each scenario, live."""
+    digests = {}
+    for spec in scenarios:
+        sha, events = timeline_digest(spec)
+        digests[spec] = {"sha256": sha, "events": events}
+    return digests
+
+
+def load_fixture(path=DEFAULT_FIXTURE):
+    """The committed digest table; raises FileNotFoundError if absent."""
+    with open(path) as fh:
+        fixture = json.load(fh)
+    if fixture.get("schema") != FIXTURE_SCHEMA:
+        raise ValueError("unexpected golden fixture schema %r in %s"
+                         % (fixture.get("schema"), path))
+    return fixture
+
+
+def write_fixture(path=DEFAULT_FIXTURE, scenarios=GOLDEN_SCENARIOS):
+    """Re-capture every golden digest and rewrite the fixture."""
+    fixture = {
+        "schema": FIXTURE_SCHEMA,
+        "regen": "python -m repro golden --regen",
+        "digests": capture_digests(scenarios),
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return fixture
+
+
+def check_golden(path=DEFAULT_FIXTURE, scenarios=None):
+    """Compare live digests against the fixture; returns mismatches.
+
+    ``scenarios`` defaults to the fixture's own key set so a stale
+    checkout never silently skips a pinned scenario.
+    """
+    fixture = load_fixture(path)
+    pinned = fixture["digests"]
+    specs = tuple(scenarios) if scenarios else tuple(sorted(pinned))
+    mismatches = []
+    for spec in specs:
+        sha, events = timeline_digest(spec)
+        want = pinned.get(spec)
+        if want is None:
+            mismatches.append(GoldenMismatch(
+                scenario=spec, expected=None, actual=sha,
+                expected_events=0, actual_events=events))
+        elif want["sha256"] != sha or want["events"] != events:
+            mismatches.append(GoldenMismatch(
+                scenario=spec, expected=want["sha256"], actual=sha,
+                expected_events=want["events"], actual_events=events))
+    return mismatches
+
+
+def main(argv=None):
+    """``repro golden`` entry point.
+
+    ``--check`` (the default) exits 0 when every live digest matches
+    the fixture, 1 otherwise; ``--regen`` rewrites the fixture from
+    the current tree and exits 0.
+    """
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro golden",
+        description="Check or regenerate the golden obs-timeline "
+                    "digest fixtures")
+    parser.add_argument("--check", action="store_true",
+                        help="verify live digests against the fixture "
+                             "(the default action)")
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the fixture from the current tree")
+    parser.add_argument("--fixture", default=DEFAULT_FIXTURE,
+                        help="fixture path (default %s)" % DEFAULT_FIXTURE)
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="limit to specific scenario specs "
+                             "(repeatable; default: all pinned)")
+    args = parser.parse_args(argv)
+    if args.regen:
+        fixture = write_fixture(args.fixture,
+                                args.scenario or GOLDEN_SCENARIOS)
+        for spec, entry in sorted(fixture["digests"].items()):
+            print("pinned %-44s %s… (%d events)"
+                  % (spec, entry["sha256"][:16], entry["events"]))
+        print("wrote %s" % args.fixture)
+        return 0
+    try:
+        mismatches = check_golden(args.fixture, scenarios=args.scenario)
+    except FileNotFoundError:
+        print("no golden fixture at %s (run: python -m repro golden "
+              "--regen)" % args.fixture)
+        return 1
+    if mismatches:
+        print("golden: %d scenario(s) diverged from the fixture:"
+              % len(mismatches))
+        for mismatch in mismatches:
+            print("  " + mismatch.format())
+        print("if the schedule change is intentional, regen with: "
+              "python -m repro golden --regen")
+        return 1
+    fixture = load_fixture(args.fixture)
+    print("golden: %d scenario timeline(s) match the fixture"
+          % len(fixture["digests"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

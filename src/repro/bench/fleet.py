@@ -71,10 +71,18 @@ class ClientReport:
     objs_per_success: float
 
 
-def run_fleet_study(config=None):
-    """Simulate the fleet; returns (desktop_reports, laptop_reports)."""
+def run_fleet_study(config=None, observatory=None):
+    """Simulate the fleet; returns (desktop_reports, laptop_reports).
+
+    ``observatory`` optionally attaches a :class:`repro.obs.Observatory`
+    before the first component is built, so the whole fleet run is
+    traced.  Observation never schedules events, so an instrumented
+    fleet is schedule-identical to a bare one.
+    """
     config = config or FleetConfig()
     sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
     streams = RandomStreams(config.seed)
     net = Network(sim, rng=streams.stream("net"))
     server = CodaServer(sim, net, "server", SERVER_1995)
@@ -226,7 +234,7 @@ def _outage_process(sim, config, venus, link, rng, kind):
 def _evict_volume(venus, rng):
     """Cache pressure drops one roamed-into volume wholesale."""
     extra_volids = sorted({
-        entry.fid.volume for entry in venus.cache.entries()
+        entry.fid.volume for entry in venus.cache.iter_entries()
         if entry.path and entry.path.startswith("/coda/extra/")
         and not entry.dirty})
     if not extra_volids:

@@ -16,6 +16,8 @@
     python -m repro faults --scenario smoke
     python -m repro lint                 # determinism linter
     python -m repro check-determinism --scenario faults:smoke
+    python -m repro perf --scenario fleet-8 --json
+    python -m repro golden --check       # golden timeline digests
 """
 
 import argparse
@@ -76,8 +78,16 @@ def _cmd_segments(args):
 def _cmd_replay(args):
     from repro.bench import replay
     from repro.net import profile_by_name
+    from repro.trace.segments import SEGMENT_SPECS
+    if args.segment not in SEGMENT_SPECS:
+        raise SystemExit("unknown segment %r (have %s)"
+                         % (args.segment,
+                            ", ".join(sorted(SEGMENT_SPECS))))
     if args.network:
-        networks = (profile_by_name(args.network),)
+        try:
+            networks = (profile_by_name(args.network),)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
     else:
         networks = replay.NETWORKS
     cells = []
@@ -201,6 +211,23 @@ def _cmd_faults(args):
     _report_invariants(checker)
 
 
+def _cmd_perf(args):
+    from repro.perf import format_result, run_perf, write_bench
+
+    results = []
+    for name in args.scenario or ["fleet-8"]:
+        try:
+            result = run_perf(name, seed=args.seed,
+                              profile=not args.no_profile, top=args.top)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        results.append(result)
+        print(format_result(result))
+    if args.json:
+        path = write_bench(results, args.out)
+        print("wrote %s" % path)
+
+
 def _cmd_lint(args):
     from repro.analysis import lint
     argv = list(args.paths)
@@ -209,6 +236,16 @@ def _cmd_lint(args):
     if args.rules:
         argv.append("--rules")
     raise SystemExit(lint.main(argv))
+
+
+def _cmd_golden(args):
+    from repro.analysis import golden
+    argv = ["--fixture", args.fixture]
+    if args.regen:
+        argv.append("--regen")
+    for spec in args.scenario or ():
+        argv += ["--scenario", spec]
+    raise SystemExit(golden.main(argv))
 
 
 def _cmd_check_determinism(args):
@@ -298,6 +335,25 @@ def build_parser():
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
+        "perf",
+        help="time a canned macro-scenario; report events/sec, "
+             "sim-seconds per wall-second, and hot frames")
+    p.add_argument("--scenario", action="append", default=None,
+                   help="fleet-8|fleet-32|fleet-64|fleet-golden|"
+                        "trickle-outage|transport-sweep; repeatable "
+                        "(default: fleet-8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip the profiled rerun (timing only)")
+    p.add_argument("--top", type=int, default=12,
+                   help="hot frames reported per scenario (default 12)")
+    p.add_argument("--json", action="store_true",
+                   help="write machine-readable results")
+    p.add_argument("--out", default="BENCH_perf.json",
+                   help="path for --json output (default BENCH_perf.json)")
+    p.set_defaults(fn=_cmd_perf)
+
+    p = sub.add_parser(
         "lint",
         help="determinism linter over the simulation source "
              "(exit 0 clean, 1 findings)")
@@ -308,6 +364,19 @@ def build_parser():
     p.add_argument("--rules", action="store_true",
                    help="list the rules and exit")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "golden",
+        help="check (or --regen) the golden obs-timeline digest "
+             "fixtures (exit 0 match, 1 divergence)")
+    p.add_argument("--check", action="store_true",
+                   help="verify digests against the fixture (default)")
+    p.add_argument("--regen", action="store_true",
+                   help="rewrite the fixture from the current tree")
+    p.add_argument("--fixture", default="tests/golden/timelines.json")
+    p.add_argument("--scenario", action="append", default=None,
+                   help="limit to specific scenario specs (repeatable)")
+    p.set_defaults(fn=_cmd_golden)
 
     p = sub.add_parser(
         "check-determinism",

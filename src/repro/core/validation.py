@@ -100,7 +100,7 @@ class RapidValidator:
         checked (i.e. not covered by a volume stamp).
         """
         by_volume = {}
-        for entry in self.cache.entries():
+        for entry in self.cache.iter_entries():
             if entry.local:
                 continue
             by_volume.setdefault(entry.fid.volume, []).append(entry)

@@ -139,7 +139,7 @@ def restore_venus(snapshot, sim, network, host):
         venus.cache.volume_info(volid)
     # Cache contents (no eviction: the snapshot fit the same capacity).
     for entry in snapshot.entries:
-        venus.cache._entries[entry.fid] = _copy_entry(entry)
+        venus.cache.adopt(_copy_entry(entry))
     # The client modify log, with the barrier gone and the sequence
     # numbering resuming where it stopped.
     venus.cml._records = [_copy_record(r) for r in snapshot.cml_records]

@@ -9,6 +9,7 @@ slightly slower while a transfer is in progress — the few-percent
 drift visible across Figure 12's columns.
 """
 
+from repro.sim.events import Timeout
 from repro.sim.resources import Lock
 
 
@@ -28,6 +29,8 @@ class HostCpu:
         yield self._lock.acquire()
         try:
             self.busy_seconds += seconds
-            yield self.sim.timeout(seconds)
+            # sim.timeout() without the factory call: this yield runs
+            # once per packet sent or received, fleet-wide.
+            yield Timeout(self.sim, seconds)
         finally:
             self._lock.release()

@@ -9,6 +9,7 @@ the paper's adaptive chunk sizing exists to bound.
 
 from dataclasses import dataclass
 
+from repro.sim.events import Timeout
 from repro.sim.rand import derive_rng
 
 
@@ -111,10 +112,15 @@ class LinkDirection:
             return
         arrival_delay = (done - self.sim.now) + self.latency
         self.bytes_in_flight += datagram.size
-        self.sim.process(self._delayed_delivery(arrival_delay, datagram))
+        # A timeout with a direct callback, not a per-packet delivery
+        # process: delivery still runs at exactly the same instant, but
+        # one heap event replaces three (bootstrap, timeout, process
+        # completion) plus a generator per packet.
+        timeout = Timeout(self.sim, arrival_delay)
+        timeout.callbacks.append(
+            lambda _evt: self._complete_delivery(datagram))
 
-    def _delayed_delivery(self, delay, datagram):
-        yield self.sim.timeout(delay)
+    def _complete_delivery(self, datagram):
         obs = self.sim.obs
         self.bytes_in_flight -= datagram.size
         if not self.up:

@@ -1,0 +1,134 @@
+"""Canned macro-scenarios for ``repro perf``.
+
+Each scenario is a deterministic, benchmark-scale workload: the same
+name and seed always run the same simulation, so wall-clock numbers
+from different checkouts are comparable and the obs timeline of the
+instrumented variants can be pinned by golden digests
+(:mod:`repro.analysis.golden`).
+
+Scenario master seeds are derived through
+:func:`repro.sim.rand.derive_rng` — the same sanctioned derivation the
+bench tables use — so ``perf`` seeds can never collide with (or
+perturb) another subsystem's streams.
+"""
+
+from repro.sim.rand import derive_rng
+
+
+def scenario_seed(name, seed=0):
+    """The per-scenario master seed for ``(name, seed)``.
+
+    Routed through :func:`~repro.sim.rand.derive_rng` (seed string
+    ``"perf::<name>::<seed>"``) so every scenario family draws from its
+    own reproducible universe; the ``seed`` argument selects among
+    universes without hand-built arithmetic on raw integers.
+    """
+    return derive_rng("perf", name, seed).getrandbits(32)
+
+
+# ---------------------------------------------------------------------------
+# Fleet scenarios (the Figure 9 machinery at three population scales)
+
+
+def _run_fleet(name, desktops, laptops, days, seed, observatory):
+    from repro.bench import fleet
+
+    config = fleet.FleetConfig(desktops=desktops, laptops=laptops,
+                               days=days, seed=scenario_seed(name, seed))
+    desks, laps = fleet.run_fleet_study(config, observatory=observatory)
+    reports = desks + laps
+    n = len(reports) or 1
+    return {
+        "clients": len(reports),
+        "days": days,
+        "validation_attempts": sum(r.attempts for r in reports),
+        "mean_success_pct": sum(r.success_pct for r in reports) / n,
+        "mean_missing_pct": sum(r.missing_pct for r in reports) / n,
+    }
+
+
+def _fleet_scenario(desktops, laptops, days):
+    def run(name, seed=0, observatory=None):
+        return _run_fleet(name, desktops, laptops, days, seed, observatory)
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Weak-connectivity micro-fleet: the obs scenarios back to back
+
+
+def _trickle_outage(name, seed=0, observatory=None):
+    from repro.obs.scenarios import fingerprint, run_scenario
+
+    detail = {}
+    for scenario in ("trickle", "outage"):
+        testbed = run_scenario(scenario, observatory=observatory)
+        digest = fingerprint(testbed)
+        detail[scenario] = {
+            "end_time": digest["end_time"],
+            "link_packets_sent": digest["link_packets_sent"],
+            "cml_reintegrated": digest["cml_reintegrated"],
+        }
+    return detail
+
+
+# ---------------------------------------------------------------------------
+# Transport sweep: the Figure 1 grid at reduced trial count
+
+
+def _transport_sweep(name, seed=0, observatory=None):
+    from repro.bench import transport
+
+    rows = transport.run_transport_comparison(trials=2)
+    return {
+        "cells": len(rows),
+        "throughput_kbps": {
+            "%s/%s" % (r.protocol, r.network): round(r.send_kbps, 3)
+            for r in rows
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# The golden micro-fleet: small enough for fixtures and CI determinism
+# probes, big enough to exercise the multi-client scheduling paths.
+
+
+def fleet_golden(observatory=None, seed=0):
+    """Tiny instrumented fleet for golden digests and divergence probes.
+
+    Importable as ``mod:repro.perf.scenarios:fleet_golden`` by
+    ``repro check-determinism``; the golden-timeline fixtures hash the
+    obs timeline of exactly this run.
+    """
+    return _run_fleet("fleet-golden", desktops=2, laptops=1, days=0.5,
+                      seed=seed, observatory=observatory)
+
+
+def _fleet_golden(name, seed=0, observatory=None):
+    return fleet_golden(observatory=observatory, seed=seed)
+
+
+#: name -> callable(name, seed=, observatory=) returning a detail dict.
+SCENARIOS = {
+    "fleet-8": _fleet_scenario(desktops=5, laptops=3, days=2.0),
+    "fleet-32": _fleet_scenario(desktops=20, laptops=12, days=1.0),
+    "fleet-64": _fleet_scenario(desktops=40, laptops=24, days=1.0),
+    "fleet-golden": _fleet_golden,
+    "trickle-outage": _trickle_outage,
+    "transport-sweep": _transport_sweep,
+}
+
+
+def run_macro_scenario(name, seed=0, observatory=None):
+    """Run macro-scenario ``name``; returns its detail dict.
+
+    Raises ValueError listing the choices for unknown names, like the
+    obs/faults scenario runners.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError("unknown perf scenario %r (have %s)"
+                         % (name, ", ".join(sorted(SCENARIOS)))) from None
+    return scenario(name, seed=seed, observatory=observatory)

@@ -108,6 +108,7 @@ class SftpSender:
             # early resend, so a lossy link cannot amplify traffic.
             burst = sorted(unacked)[:self.window] if unacked \
                 else [self.total - 1]   # probe to solicit the final ack
+            burst_set = set(burst)
             burst_bytes = 0
             round_start = self.sim.now
             for seq in burst:
@@ -135,7 +136,7 @@ class SftpSender:
                         self.endpoint.estimator(self.peer) \
                             .observe_transfer(self.size, elapsed)
                         return elapsed
-                    newly_acked = unacked & set(ack.received)
+                    newly_acked = unacked & ack.received
                     if newly_acked:
                         progressed = True
                         unacked -= newly_acked
@@ -154,12 +155,12 @@ class SftpSender:
                         # repair needs an ack that carried new
                         # information.
                         horizon = max(ack.received) if ack.received else -1
-                        missing = {seq for seq in set(burst) & unacked
+                        missing = {seq for seq in burst_set & unacked
                                    if seq < horizon}
                         if missing:
                             for seq in sorted(missing):
                                 self._send_data(seq, sent)
-                    if not (set(burst) & unacked):
+                    if not (burst_set & unacked):
                         break   # burst fully delivered: next round
                     continue    # partial/duplicate ack: keep waiting
                 if keepalive is not None and keepalive.triggered \

@@ -5,6 +5,8 @@ wait on events by yielding them; other code triggers them with
 :meth:`Event.succeed` or :meth:`Event.fail`.
 """
 
+from heapq import heappush
+
 _PENDING = object()
 
 # Scheduling priorities: urgent events (process resumption bookkeeping)
@@ -32,7 +34,14 @@ class Event:
     (value decided, callbacks scheduled), and *processed* (callbacks
     ran).  Callbacks added after processing are delivered immediately
     (at the current simulation instant) so late subscribers never hang.
+
+    ``__slots__`` throughout the event hierarchy: fleet-scale runs
+    create millions of events, and slot storage shaves both per-event
+    memory and attribute-access time on the kernel's hottest path.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed",
+                 "_defused")
 
     def __init__(self, sim):
         self.sim = sim
@@ -66,16 +75,19 @@ class Event:
 
     def succeed(self, value=None):
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self, URGENT)
+        # sim._schedule_event(self, URGENT) inlined — the hottest
+        # trigger site; the tuple pushed is byte-identical.
+        sim = self.sim
+        heappush(sim._queue, (sim.now, URGENT, next(sim._sequence), self))
         return self
 
     def fail(self, exception):
         """Trigger the event with a failure carried by ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError("event already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -104,9 +116,11 @@ class Event:
 
     def _process(self):
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
         if self._ok is False and not self._defused:
             raise UnhandledFailure(self._value)
 
@@ -128,22 +142,44 @@ class Timeout(Event):
     other pending event.
     """
 
+    __slots__ = ("delay", "_pending_value")
+
     def __init__(self, sim, delay, value=None):
         if delay < 0:
             raise ValueError("negative delay: %r" % (delay,))
-        super().__init__(sim)
+        # Event.__init__ inlined: timeouts are the most-created event
+        # type (one per packet delivery, CPU slice, and daemon tick),
+        # so the extra method call is worth flattening away.
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
+        self._defused = False
         self.delay = delay
         self._pending_value = value
-        sim._schedule_event(self, NORMAL, delay=delay)
+        # sim._schedule_event(self, NORMAL, delay=delay) inlined; the
+        # tuple pushed is byte-identical.
+        heappush(sim._queue,
+                 (sim.now + delay, NORMAL, next(sim._sequence), self))
 
     def _process(self):
+        # Event._process inlined; a timeout cannot fail, so the
+        # unhandled-failure check is dropped too.
         self._ok = True
         self._value = self._pending_value
-        super()._process()
+        self._processed = True
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
 
 
 class Condition(Event):
     """Base for events composed of several child events."""
+
+    __slots__ = ("_events", "_count_needed", "_count")
 
     def __init__(self, sim, events, count_needed):
         super().__init__(sim)
@@ -160,7 +196,7 @@ class Condition(Event):
         return {e: e._value for e in self._events if e.triggered and e._ok}
 
     def _on_child(self, event):
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event.defuse()
@@ -174,6 +210,8 @@ class Condition(Event):
 class AnyOf(Condition):
     """Succeeds when any child event succeeds; fails if a child fails."""
 
+    __slots__ = ()
+
     def __init__(self, sim, events):
         events = list(events)
         super().__init__(sim, events, 1 if events else 0)
@@ -181,6 +219,8 @@ class AnyOf(Condition):
 
 class AllOf(Condition):
     """Succeeds when all child events have succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, sim, events):
         events = list(events)

@@ -1,10 +1,11 @@
 """The simulation kernel: an event heap and the run loop."""
 
 import heapq
+from heapq import heappush
 from itertools import count
 
 from repro.obs.observatory import NULL_OBS
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, Timeout, URGENT, _PENDING
 from repro.sim.process import Process
 
 
@@ -27,6 +28,10 @@ class Simulator:
         self._sequence = count()
         self._active_process = None
         self.obs = NULL_OBS
+        #: Events dispatched over this simulator's lifetime.  A plain
+        #: integer (not an obs metric) so ``repro perf`` can compute
+        #: events/sec on uninstrumented runs at one-add-per-event cost.
+        self.dispatched = 0
         # Named deterministic random streams (repro.sim.rand), attached
         # by the testbed builder so subsystems (e.g. fault injection)
         # can draw from isolated per-component streams.
@@ -55,7 +60,10 @@ class Simulator:
         proc = Process(self, generator, name=name)
         if owner is not None:
             # Prune finished processes so long runs don't accumulate.
-            alive = [p for p in self._owned.get(owner, ()) if p.is_alive]
+            # (p._value is _PENDING) is is_alive with the property
+            # machinery skipped — this scan runs per process created.
+            alive = [p for p in self._owned.get(owner, ())
+                     if p._value is _PENDING]
             alive.append(proc)
             self._owned[owner] = alive
         return proc
@@ -88,14 +96,17 @@ class Simulator:
     # Scheduling internals
 
     def _schedule_event(self, event, priority, delay=0.0):
-        heapq.heappush(
+        heappush(
             self._queue,
             (self.now + delay, priority, next(self._sequence), event))
 
     def _call_soon(self, callback, *args):
+        # An inlined stub.succeed(): the stub is born triggered.
         stub = Event(self)
         stub.callbacks.append(lambda _evt: callback(*args))
-        stub.succeed()
+        stub._ok = True
+        stub._value = None
+        self._schedule_event(stub, URGENT)
 
     # ------------------------------------------------------------------
     # Execution
@@ -104,6 +115,7 @@ class Simulator:
         """Process the single next event.  Raises IndexError if empty."""
         when, _prio, _seq, event = heapq.heappop(self._queue)
         self.now = when
+        self.dispatched += 1
         obs = self.obs
         if obs.enabled:
             obs.metrics.counter("sim.events_dispatched").inc()
@@ -137,8 +149,46 @@ class Simulator:
             return stop_event._value
 
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        if "step" in self.__dict__:
+            # An instance-level step override (the obs schedule probe
+            # wraps it to log every dispatch) must keep seeing each
+            # event; take the plain loop.
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+        else:
+            # Fast path: step() inlined.  Locals for the queue and
+            # heappop save a method call plus several attribute loads
+            # per event — the single hottest loop in fleet-scale runs.
+            queue = self._queue
+            pop = heapq.heappop
+            cached_obs = dispatch_counter = depth_gauge = None
+            done = 0
+            # ``dispatched`` accumulates in a local and lands on the
+            # instance when the loop exits (even via an unhandled
+            # failure) — nothing may read it mid-loop from inside an
+            # event callback.
+            try:
+                while queue and queue[0][0] <= deadline:
+                    when, _prio, _seq, event = pop(queue)
+                    self.now = when
+                    done += 1
+                    obs = self.obs
+                    if obs.enabled:
+                        # Registry lookups are stable per (name,
+                        # labels), so hold the two kernel instruments
+                        # as long as the same observatory stays
+                        # installed.
+                        if obs is not cached_obs:
+                            cached_obs = obs
+                            dispatch_counter = obs.metrics.counter(
+                                "sim.events_dispatched")
+                            depth_gauge = obs.metrics.gauge(
+                                "sim.queue_depth")
+                        dispatch_counter.inc()
+                        depth_gauge.set(len(queue))
+                    event._process()
+            finally:
+                self.dispatched += done
         if until is not None:
             self.now = max(self.now, deadline)
         return None

@@ -1,6 +1,6 @@
 """Generator-based simulation processes."""
 
-from repro.sim.events import Event, Interrupt, URGENT
+from repro.sim.events import Event, Interrupt, URGENT, _PENDING
 
 
 class Process(Event):
@@ -13,14 +13,25 @@ class Process(Event):
     can wait on each other.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_send", "_on_target")
+
     def __init__(self, sim, generator, name=None):
         super().__init__(sim)
         self._generator = generator
+        # Pre-bound: generator.send and self._resume each allocate a
+        # fresh bound method per attribute fetch, and _resume needs
+        # both once per process step.
+        self._send = generator.send
+        self._on_target = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         self._target = None
+        # An inlined bootstrap.succeed(): the stub is born triggered,
+        # skipping the already-triggered guard of the public method.
         bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        bootstrap.callbacks.append(self._on_target)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._schedule_event(bootstrap, URGENT)
 
     @property
     def is_alive(self):
@@ -37,39 +48,40 @@ class Process(Event):
         if self.triggered:
             return
         if self._target is not None:
-            self._target.unsubscribe(self._resume)
+            self._target.unsubscribe(self._on_target)
             self._target = None
         kick = Event(self.sim)
-        kick.callbacks.append(self._resume)
+        kick.callbacks.append(self._on_target)
         kick._ok = False
         kick._value = Interrupt(cause)
         kick._defused = True
         self.sim._schedule_event(kick, URGENT)
 
     def _resume(self, event):
-        if self.triggered:
+        if self._value is not _PENDING:   # i.e. self.triggered
             # A late interrupt kick can arrive after the process already
             # finished (e.g. a failure cascaded into it first during a
             # mass kill); there is nothing left to resume.
             event.defuse()
             return
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
             else:
                 event.defuse()
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self.fail(exc)
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(target, Event):
             error = RuntimeError(
                 "process %r yielded %r, which is not an Event"
@@ -78,7 +90,12 @@ class Process(Event):
             self.fail(error)
             return
         self._target = target
-        target.subscribe(self._resume)
+        # target.subscribe(self._resume), inlined: this is the single
+        # hottest subscription site (once per process step).
+        if target._processed:
+            self.sim._call_soon(self._on_target, target)
+        else:
+            target.callbacks.append(self._on_target)
 
     def __repr__(self):
         return "<Process %s %s>" % (

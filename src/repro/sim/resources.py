@@ -2,7 +2,7 @@
 
 from collections import deque
 
-from repro.sim.events import Event
+from repro.sim.events import Event, _PENDING
 
 
 class Lock:
@@ -65,7 +65,7 @@ class Store:
         """Deposit ``item``, waking the oldest waiting getter if any."""
         while self._getters:
             getter = self._getters.popleft()
-            if not getter.triggered:
+            if getter._value is _PENDING:   # not yet triggered
                 getter.succeed(item)
                 return
         self._items.append(item)

@@ -865,7 +865,7 @@ class Venus:
         dirty_fids = set()
         for record in self.cml:
             dirty_fids.add(record.fid)
-        for entry in self.cache.entries():
+        for entry in self.cache.iter_entries():
             entry.dirty = entry.fid in dirty_fids
 
     # ------------------------------------------------------------------
@@ -875,7 +875,7 @@ class Venus:
         """Add ``path`` to the hoard database (takes effect at next walk)."""
         self.hdb.add(path, priority, children=children)
         (volid, _root), _parts, _prefix = self._mount_for(path)
-        for entry in self.cache.entries():
+        for entry in self.cache.iter_entries():
             if entry.path and self.hdb.entry_for(path).covers(entry.path):
                 entry.hoard_priority = max(entry.hoard_priority, priority)
 

@@ -60,8 +60,7 @@ class HoardWalker:
             return report
 
         # ---- Phase 1: status walk --------------------------------------
-        stale = [e for e in venus.cache.entries()
-                 if not e.local and not venus.cache.is_valid(e)]
+        stale = venus.cache.invalid_entries()
         if stale:
             report.validated_objects = yield from \
                 venus.validator.validate_objects(stale)
@@ -169,8 +168,7 @@ class HoardWalker:
     def _acquire_stamps(self):
         """Generator: cache volume stamps for all cached volumes."""
         venus = self.venus
-        volids = sorted({e.fid.volume for e in venus.cache.entries()
-                         if not e.local})
+        volids = venus.cache.nonlocal_volumes()
         if not volids or not venus.config.use_volume_callbacks:
             return 0
         result = yield from venus._call_or_disconnect(

@@ -1,0 +1,54 @@
+"""Golden-schedule regression tests.
+
+Every pinned scenario's obs timeline must hash to exactly the digest
+committed in ``timelines.json``.  These tests are the enforcement
+point for the repo's optimization contract: performance work is only
+admissible when it is schedule-identical, and any schedule change —
+intentional or not — fails here first.
+
+After an *intentional* semantic change, regenerate and commit the
+fixture::
+
+    python -m repro golden --regen
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.golden import (
+    GOLDEN_SCENARIOS,
+    load_fixture,
+    timeline_digest,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "timelines.json")
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return load_fixture(FIXTURE)
+
+
+def test_fixture_pins_every_golden_scenario(fixture):
+    assert sorted(fixture["digests"]) == sorted(GOLDEN_SCENARIOS)
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SCENARIOS)
+def test_timeline_matches_fixture(fixture, spec):
+    pinned = fixture["digests"][spec]
+    sha, events = timeline_digest(spec)
+    assert events == pinned["events"], (
+        "%s produced %d events, fixture pins %d — schedule changed; "
+        "if intentional: python -m repro golden --regen"
+        % (spec, events, pinned["events"]))
+    assert sha == pinned["sha256"], (
+        "%s timeline digest diverged from the golden fixture — "
+        "schedule or payload changed; if intentional: "
+        "python -m repro golden --regen" % spec)
+
+
+def test_digest_is_stable_within_a_run():
+    sha_a, events_a = timeline_digest("obs:trickle")
+    sha_b, events_b = timeline_digest("obs:trickle")
+    assert (sha_a, events_a) == (sha_b, events_b)

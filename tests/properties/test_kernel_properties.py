@@ -1,0 +1,95 @@
+"""Property-based tests on the simulation kernel's scheduling contract.
+
+Three invariants the fast-path optimizations must never bend:
+
+* same-timestamp events dispatch in priority-then-FIFO order — the
+  total order that makes identical inputs produce identical schedules;
+* ``kill_owned`` leaves no trace of the owner: no live processes, no
+  owner table entry, and the simulation still drains cleanly;
+* ``peek`` always names the exact time the next ``step`` advances to.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+from repro.sim.events import NORMAL, URGENT
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from([0.0, 1.0, 2.5]),
+                          st.sampled_from([URGENT, NORMAL])),
+                min_size=1, max_size=30))
+def test_same_timestamp_events_run_priority_then_fifo(schedule):
+    """At one timestamp, URGENT beats NORMAL; ties keep insert order."""
+    sim = Simulator()
+    dispatched = []
+    for index, (delay, priority) in enumerate(schedule):
+        event = sim.event()
+        event.callbacks.append(
+            lambda _evt, rec=(delay, priority, index):
+                dispatched.append(rec))
+        sim._schedule_event(event, priority, delay)
+    sim.run()
+    # The kernel's contract: (time, priority, insertion order).
+    expected = sorted(
+        ((delay, priority, index)
+         for index, (delay, priority) in enumerate(schedule)),
+        key=lambda rec: (rec[0], rec[1], rec[2]))
+    assert dispatched == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=0, max_value=11),
+       st.floats(min_value=0.5, max_value=100.0))
+def test_kill_owned_never_leaks_callbacks(procs, kill_at, horizon):
+    """After kill_owned, the owner's processes never run again."""
+    sim = Simulator()
+    ran_after_kill = []
+    killed_flag = []
+
+    def worker(ident):
+        while True:
+            yield sim.timeout(1.0)
+            if killed_flag:
+                ran_after_kill.append(ident)
+
+    for ident in range(procs):
+        sim.process(worker(ident), owner="victim")
+    kill_time = min(kill_at, procs) + 0.5
+
+    def killer():
+        yield sim.timeout(kill_time)
+        sim.kill_owned("victim")
+        killed_flag.append(True)
+
+    sim.process(killer())
+    sim.run(until=kill_time + horizon)
+    # No owned process survived the kill...
+    assert ran_after_kill == []
+    assert "victim" not in sim._owned
+    # ...and nothing of theirs is still scheduled: the queue drains.
+    sim.run()
+    assert sim.peek() is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=40))
+def test_peek_and_step_agree(delays):
+    """peek() names exactly the time step() will advance to."""
+    sim = Simulator()
+    for delay in delays:
+        sim.timeout(delay)
+    seen = []
+    while True:
+        upcoming = sim.peek()
+        if upcoming is None:
+            break
+        sim.step()
+        assert sim.now == upcoming
+        seen.append(upcoming)
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert sim.dispatched == len(delays)
