@@ -28,9 +28,12 @@ from dataclasses import dataclass
 
 from repro.analysis.divergence import _canonical, capture_timeline
 
-#: The pinned scenarios: every obs/faults canned scenario plus the
-#: perf micro-fleet, so kernel, transport, cache, and multi-client
-#: scheduling paths are all covered.
+#: The pinned scenarios: every obs/faults canned scenario, the perf
+#: micro-fleet, and two fleetd shards, so kernel, transport, cache,
+#: multi-client, and sharded-fleet scheduling paths are all covered.
+#: The fleetd entries pin what a worker process simulates — a sharded
+#: run is only provably equivalent to the single-process schedule if
+#: that schedule itself cannot drift silently.
 GOLDEN_SCENARIOS = (
     "obs:trickle",
     "obs:outage",
@@ -38,6 +41,8 @@ GOLDEN_SCENARIOS = (
     "faults:client-crash",
     "faults:server-crash",
     "mod:repro.perf.scenarios:fleet_golden",
+    "mod:repro.fleetd.scenarios:golden_shard0",
+    "mod:repro.fleetd.scenarios:golden_shard1",
 )
 
 #: Repo-relative fixture location (the CLI runs from the repo root;

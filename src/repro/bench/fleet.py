@@ -59,6 +59,12 @@ class FleetConfig:
     outage_minutes: float = 18.0
     flaky_reconnect_prob: float = 0.5  # outages come in bursts
     seed: int = 0
+    # Prepended to every client name (and therefore to the private
+    # volume paths and stream names derived from them).  A sharded
+    # fleet (repro.fleetd) gives each shard its own prefix so client
+    # identities — and the volumes they own — never collide across
+    # shards; the empty default keeps the classic fleet byte-identical.
+    name_prefix: str = ""
 
 
 @dataclass
@@ -108,9 +114,11 @@ def run_fleet_study(config=None, observatory=None):
     names_laptop = ["caractacus", "deidamia", "finlandia", "gloriana",
                     "guntram", "nabucco", "prometheus", "serse", "tosca",
                     "valkyrie"]
-    specs = ([(names_desktop[i % 16] + ("" if i < 16 else str(i)),
+    specs = ([(config.name_prefix + names_desktop[i % 16]
+               + ("" if i < 16 else str(i)),
                "desktop", ETHERNET) for i in range(config.desktops)]
-             + [(names_laptop[i % 10] + ("" if i < 10 else str(i)),
+             + [(config.name_prefix + names_laptop[i % 10]
+                 + ("" if i < 10 else str(i)),
                  "laptop", ETHERNET) for i in range(config.laptops)])
     for name, kind, profile in specs:
         rng = streams.stream("client::" + name)

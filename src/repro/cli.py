@@ -17,6 +17,8 @@
     python -m repro lint                 # determinism linter
     python -m repro check-determinism --scenario faults:smoke
     python -m repro perf --scenario fleet-8 --json
+    python -m repro perf --scenario fleet-256 --workers 4
+    python -m repro fleetd --scenario fleet-64 --workers 4 --verify
     python -m repro golden --check       # golden timeline digests
 """
 
@@ -158,7 +160,7 @@ def _cmd_obs(args):
     checker = _make_checker(args)
     try:
         run_scenario(args.scenario, observatory=observatory,
-                     checker=checker)
+                     checker=checker, seed=args.seed)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if args.out:
@@ -188,7 +190,7 @@ def _cmd_faults(args):
     try:
         testbed = run_fault_scenario(args.scenario,
                                      observatory=observatory,
-                                     checker=checker)
+                                     checker=checker, seed=args.seed)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     injector = testbed.faults
@@ -216,16 +218,48 @@ def _cmd_perf(args):
 
     results = []
     for name in args.scenario or ["fleet-8"]:
-        try:
-            result = run_perf(name, seed=args.seed,
-                              profile=not args.no_profile, top=args.top)
-        except ValueError as exc:
-            raise SystemExit(str(exc)) from None
-        results.append(result)
-        print(format_result(result))
+        for workers in args.workers or [None]:
+            try:
+                result = run_perf(name, seed=args.seed,
+                                  profile=not args.no_profile,
+                                  top=args.top, workers=workers)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            results.append(result)
+            print(format_result(result))
     if args.json:
         path = write_bench(results, args.out)
         print("wrote %s" % path)
+
+
+def _cmd_fleetd(args):
+    import os
+
+    from repro.fleetd import FLEET_SPECS, format_report, run_sharded, \
+        verify_sharded
+    from repro.fleetd.merge import write_report
+
+    days = args.days
+    if days is None and os.environ.get("REPRO_FAST"):
+        # Smoke mode for CI: an eighth of the catalogue duration keeps
+        # the 2-worker fleet-32 equivalence check under a minute.
+        days = FLEET_SPECS.get(args.scenario,
+                               FLEET_SPECS["fleet-8"]).days / 8.0
+    try:
+        report = run_sharded(args.scenario, workers=args.workers,
+                             seed=args.seed, days=days)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(format_report(report))
+    if args.json:
+        path = write_report(report, args.out)
+        print("wrote %s" % path)
+    if args.verify:
+        verdict = verify_sharded(args.scenario, seed=args.seed,
+                                 days=days, report=report)
+        print(verdict.format())
+        if not verdict.ok:
+            raise SystemExit(1)
 
 
 def _cmd_lint(args):
@@ -318,6 +352,10 @@ def build_parser():
     p.add_argument("--check-invariants", action="store_true",
                    help="run the cross-component invariant checker; "
                         "exit 1 on any violation")
+    p.add_argument("--seed", type=int, default=None,
+                   help="alternate stream universe, derived via "
+                        "derive_rng('obs', scenario, seed); default: "
+                        "the canonical golden-pinned streams")
     p.set_defaults(fn=_cmd_obs)
 
     p = sub.add_parser(
@@ -332,6 +370,10 @@ def build_parser():
     p.add_argument("--check-invariants", action="store_true",
                    help="run the cross-component invariant checker; "
                         "exit 1 on any violation")
+    p.add_argument("--seed", type=int, default=None,
+                   help="alternate stream universe, derived via "
+                        "derive_rng('faults', scenario, seed); default: "
+                        "the canonical golden-pinned streams")
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
@@ -340,9 +382,13 @@ def build_parser():
              "sim-seconds per wall-second, and hot frames")
     p.add_argument("--scenario", action="append", default=None,
                    help="fleet-8|fleet-32|fleet-64|fleet-golden|"
-                        "trickle-outage|transport-sweep; repeatable "
+                        "trickle-outage|transport-sweep|fleetd-64|"
+                        "fleet-256|fleet-1024; repeatable "
                         "(default: fleet-8)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", action="append", type=int, default=None,
+                   help="process-pool size for the sharded scenarios; "
+                        "repeatable to time several worker counts")
     p.add_argument("--no-profile", action="store_true",
                    help="skip the profiled rerun (timing only)")
     p.add_argument("--top", type=int, default=12,
@@ -352,6 +398,32 @@ def build_parser():
     p.add_argument("--out", default="BENCH_perf.json",
                    help="path for --json output (default BENCH_perf.json)")
     p.set_defaults(fn=_cmd_perf)
+
+    p = sub.add_parser(
+        "fleetd",
+        help="run a fleet scenario as shared-nothing shards on a "
+             "process pool; optionally verify equivalence to the "
+             "single-process schedule")
+    p.add_argument("--scenario", default="fleet-8",
+                   help="fleet-8|fleet-32|fleet-64|fleet-256|fleet-1024 "
+                        "(default: fleet-8)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="process-pool size (0 = run in-process; "
+                        "default 4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--days", type=float, default=None,
+                   help="override simulated days per shard (default: "
+                        "the scenario catalogue; REPRO_FAST=1 uses "
+                        "an eighth)")
+    p.add_argument("--verify", action="store_true",
+                   help="re-run every shard in-process and require "
+                        "byte-identical timelines; exit 1 otherwise")
+    p.add_argument("--json", action="store_true",
+                   help="write the merged report as JSON")
+    p.add_argument("--out", default="FLEET_report.json",
+                   help="path for --json output "
+                        "(default FLEET_report.json)")
+    p.set_defaults(fn=_cmd_fleetd)
 
     p = sub.add_parser(
         "lint",

@@ -12,7 +12,7 @@ byte-identical namespace digests — the determinism tests depend on it.
 from repro.bench.common import make_testbed, populate_volume, warm_cache
 from repro.fs.content import SyntheticContent
 from repro.net import MODEM
-from repro.obs.scenarios import MOUNT, _probe_schedule
+from repro.obs.scenarios import MOUNT, _probe_schedule, scenario_seed
 from repro.obs.scenarios import fingerprint as obs_fingerprint
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
@@ -101,7 +101,7 @@ def _faulted_testbed(config, plan, observatory, schedule_log, seed=0,
 
 
 def smoke_scenario(observatory=None, schedule_log=None, plan=None,
-                   checker=None):
+                   checker=None, seed=0):
     """Everything once, briefly: outage, loss burst, client crash.
 
     A write-disconnected modem client logs updates through a link
@@ -122,7 +122,7 @@ def smoke_scenario(observatory=None, schedule_log=None, plan=None,
     config = VenusConfig(aging_window=30.0, daemon_period=5.0,
                          probe_interval=30.0, hoard_walk_interval=120.0)
     testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               checker=checker)
+                               seed=seed, checker=checker)
     sim = testbed.sim
 
     def session():
@@ -155,7 +155,7 @@ def smoke_scenario(observatory=None, schedule_log=None, plan=None,
 
 
 def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
-                          checker=None):
+                          checker=None, seed=0):
     """A client dies mid-trickle and resumes from the barrier.
 
     A large store is being trickled when Venus crashes; the restart
@@ -170,7 +170,7 @@ def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
     config = VenusConfig(aging_window=30.0, daemon_period=5.0,
                          probe_interval=30.0)
     testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               checker=checker)
+                               seed=seed, checker=checker)
     sim = testbed.sim
 
     def session():
@@ -193,7 +193,7 @@ def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
 
 
 def server_crash_scenario(observatory=None, schedule_log=None, plan=None,
-                          checker=None):
+                          checker=None, seed=0):
     """A server dies mid-reintegration and comes back 30 s later.
 
     The store (namespace, volume stamps, applied-record marks)
@@ -210,7 +210,7 @@ def server_crash_scenario(observatory=None, schedule_log=None, plan=None,
     config = VenusConfig(aging_window=20.0, daemon_period=5.0,
                          probe_interval=30.0)
     testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               checker=checker)
+                               seed=seed, checker=checker)
     sim = testbed.sim
 
     def session():
@@ -239,12 +239,15 @@ FAULT_SCENARIOS = {
 
 
 def run_fault_scenario(name, observatory=None, schedule_log=None,
-                       plan=None, checker=None):
+                       plan=None, checker=None, seed=None):
     """Run fault scenario ``name``; returns the finished testbed.
 
     ``checker`` optionally attaches an
     :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
-    before the workload runs (requires ``observatory``).
+    before the workload runs (requires ``observatory``).  ``seed``
+    selects an alternate stream universe via
+    :func:`repro.obs.scenarios.scenario_seed` (kind ``"faults"``); the
+    default None keeps the canonical (golden-pinned) streams.
     """
     try:
         scenario = FAULT_SCENARIOS[name]
@@ -252,4 +255,5 @@ def run_fault_scenario(name, observatory=None, schedule_log=None,
         raise ValueError("unknown fault scenario %r (have %s)"
                          % (name, ", ".join(sorted(FAULT_SCENARIOS)))) from None
     return scenario(observatory=observatory, schedule_log=schedule_log,
-                    plan=plan, checker=checker)
+                    plan=plan, checker=checker,
+                    seed=scenario_seed("faults", name, seed))

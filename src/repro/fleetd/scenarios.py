@@ -1,0 +1,44 @@
+"""Pinnable fleetd scenarios: golden shard runs for the digest fixtures.
+
+The golden machinery (:mod:`repro.analysis.golden`) pins obs timelines
+of ``mod:<module>:<function>`` specs across checkouts.  These two
+functions expose shard 0 and shard 1 of the ``fleet-8`` plan — built
+through the identical :func:`~repro.fleetd.plan.shard_config` path the
+executor uses — at a fixed, CI-friendly duration.  Pinning them means
+no change can silently alter what a worker process simulates: the
+per-shard schedule itself is a committed fixture, not just equal to
+whatever the in-process run happens to produce today.
+
+``GOLDEN_DAYS`` is deliberately independent of ``REPRO_FAST`` and of
+the scenario's catalogue duration: fixtures must hash the same
+simulation everywhere.
+"""
+
+from repro.fleetd.plan import plan_shards, shard_config
+
+GOLDEN_SCENARIO = "fleet-8"
+GOLDEN_DAYS = 0.25
+
+
+def run_golden_shard(index, observatory=None):
+    """Run one pinned shard of the golden plan, instrumented."""
+    from repro.bench.fleet import run_fleet_study
+    shard = plan_shards(GOLDEN_SCENARIO, seed=0, days=GOLDEN_DAYS)[index]
+    desktops, laptops = run_fleet_study(shard_config(shard),
+                                        observatory=observatory)
+    reports = desktops + laptops
+    return {
+        "shard": shard.index,
+        "clients": len(reports),
+        "validation_attempts": sum(r.attempts for r in reports),
+    }
+
+
+def golden_shard0(observatory=None):
+    """``mod:repro.fleetd.scenarios:golden_shard0`` for repro golden."""
+    return run_golden_shard(0, observatory=observatory)
+
+
+def golden_shard1(observatory=None):
+    """``mod:repro.fleetd.scenarios:golden_shard1`` for repro golden."""
+    return run_golden_shard(1, observatory=observatory)

@@ -270,3 +270,53 @@ class MetricsRegistry:
             row.update(inst.data())
             out.append(row)
         return out
+
+
+# ---------------------------------------------------------------------------
+# Merging registries from independent simulations (repro.fleetd)
+#
+# Registries from different shards measure different universes whose
+# label sets collide (every shard has a ``link=...->server``), so a
+# lossless merge works on export rows and disambiguates with an extra
+# label rather than summing instruments blindly.  The output order is
+# a pure function of the input rows — merged output is byte-identical
+# however the sources were produced.
+
+
+def merge_rows(sources, label="shard"):
+    """Merge metric export rows from several independent registries.
+
+    ``sources`` is an iterable of ``(key, rows)`` pairs — e.g.
+    ``(shard_index, registry.rows())`` per shard.  Every row gains
+    ``label=key`` in its label set, and the result is sorted by
+    ``(metric, labels)`` so the merge is deterministic regardless of
+    source arrival order.  Rows are copied; the inputs are untouched.
+    """
+    merged = []
+    for key, rows in sources:
+        for row in rows:
+            row = dict(row)
+            labels = dict(row["labels"])
+            labels[label] = key
+            row["labels"] = labels
+            merged.append(row)
+    merged.sort(key=lambda row: (row["metric"],
+                                 sorted((str(k), str(v))
+                                        for k, v in row["labels"].items())))
+    return merged
+
+
+def sum_counters(rows):
+    """``{metric: total}`` over counter rows from :func:`merge_rows`.
+
+    Counters are the only instrument whose cross-registry sum is
+    meaningful (gauges and histograms would need their envelopes and
+    buckets merged with care); this is the aggregate the fleet report
+    prints.
+    """
+    totals = {}
+    for row in rows:
+        if row.get("type") == "counter":
+            totals[row["metric"]] = totals.get(row["metric"], 0) \
+                + row["value"]
+    return totals

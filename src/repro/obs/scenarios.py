@@ -13,9 +13,24 @@ instrumented and uninstrumented runs.
 from repro.bench.common import make_testbed, populate_volume, warm_cache
 from repro.fs.content import SyntheticContent
 from repro.net import MODEM, WAVELAN
+from repro.sim.rand import derive_rng
 from repro.venus import VenusConfig
 
 MOUNT = "/coda/usr/bob"
+
+
+def scenario_seed(kind, name, seed):
+    """Master testbed seed for ``--seed`` runs of a canned scenario.
+
+    ``None`` (no ``--seed`` given) preserves the canonical streams the
+    golden fixtures pin; an explicit seed derives a fresh universe via
+    :func:`~repro.sim.rand.derive_rng` (seed string
+    ``"<kind>::<name>::<seed>"``) so CLI seeds can never collide with
+    another subsystem's derivations.
+    """
+    if seed is None:
+        return 0
+    return derive_rng(kind, name, seed).getrandbits(63)
 
 
 def _probe_schedule(sim, schedule_log):
@@ -44,7 +59,8 @@ def _standard_volume(testbed):
     return volume
 
 
-def trickle_scenario(observatory=None, schedule_log=None, checker=None):
+def trickle_scenario(observatory=None, schedule_log=None, checker=None,
+                     seed=0):
     """The weak-link trickle workload (examples/weak_link_trickle.py).
 
     A write-disconnected client over a 9.6 Kb/s modem: an overwrite
@@ -54,7 +70,7 @@ def trickle_scenario(observatory=None, schedule_log=None, checker=None):
     """
     config = VenusConfig(aging_window=300.0, chunk_seconds=30.0,
                          daemon_period=5.0)
-    testbed = make_testbed(MODEM, venus_config=config,
+    testbed = make_testbed(MODEM, venus_config=config, seed=seed,
                            observatory=observatory)
     if schedule_log is not None:
         _probe_schedule(testbed.sim, schedule_log)
@@ -84,7 +100,8 @@ def trickle_scenario(observatory=None, schedule_log=None, checker=None):
     return testbed
 
 
-def outage_scenario(observatory=None, schedule_log=None, checker=None):
+def outage_scenario(observatory=None, schedule_log=None, checker=None,
+                    seed=0):
     """Intermittence over WaveLAN: outages, reconnection, validation.
 
     Exercises link_up/link_down events, disconnected operation, the
@@ -92,7 +109,7 @@ def outage_scenario(observatory=None, schedule_log=None, checker=None):
     """
     config = VenusConfig(aging_window=60.0, daemon_period=5.0,
                          probe_interval=30.0)
-    testbed = make_testbed(WAVELAN, venus_config=config,
+    testbed = make_testbed(WAVELAN, venus_config=config, seed=seed,
                            observatory=observatory)
     if schedule_log is not None:
         _probe_schedule(testbed.sim, schedule_log)
@@ -127,12 +144,15 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name, observatory=None, schedule_log=None, checker=None):
+def run_scenario(name, observatory=None, schedule_log=None, checker=None,
+                 seed=None):
     """Run scenario ``name``; returns the finished testbed.
 
     ``checker`` optionally attaches an
     :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
-    before the workload runs (requires ``observatory``).
+    before the workload runs (requires ``observatory``).  ``seed``
+    selects an alternate stream universe via :func:`scenario_seed`;
+    the default None keeps the canonical (golden-pinned) streams.
     """
     try:
         scenario = SCENARIOS[name]
@@ -140,7 +160,7 @@ def run_scenario(name, observatory=None, schedule_log=None, checker=None):
         raise ValueError("unknown scenario %r (have %s)"
                          % (name, ", ".join(sorted(SCENARIOS)))) from None
     return scenario(observatory=observatory, schedule_log=schedule_log,
-                    checker=checker)
+                    checker=checker, seed=scenario_seed("obs", name, seed))
 
 
 def fingerprint(testbed):

@@ -22,16 +22,21 @@ comparable with ones measured through this same harness.
 
 import gc
 import json
+import os
 import platform
 import sys
 import time
 from dataclasses import dataclass, field
 
 from repro.perf.profiler import capture_profile
-from repro.perf.scenarios import SCENARIOS, run_macro_scenario
+from repro.perf.scenarios import (
+    SCENARIOS,
+    SHARDED_SCENARIOS,
+    run_macro_scenario,
+)
 from repro.sim import kernel
 
-BENCH_SCHEMA = "repro.perf/1"
+BENCH_SCHEMA = "repro.perf/2"
 
 
 class KernelTally:
@@ -83,6 +88,7 @@ class PerfResult:
     events_per_sec: float
     sim_seconds_per_wall_second: float
     simulators: int
+    workers: int = 0        # 0 = single-process scenario
     detail: dict = field(default_factory=dict)
     hot_frames: list = field(default_factory=list)   # [HotFrame]
 
@@ -96,6 +102,7 @@ class PerfResult:
             "events_per_sec": self.events_per_sec,
             "sim_seconds_per_wall_second": self.sim_seconds_per_wall_second,
             "simulators": self.simulators,
+            "workers": self.workers,
             "detail": self.detail,
         }
         if self.hot_frames:
@@ -103,27 +110,41 @@ class PerfResult:
         return row
 
 
-def run_perf(name, seed=0, profile=True, top=12):
+def run_perf(name, seed=0, profile=True, top=12, workers=None):
     """Measure macro-scenario ``name``; returns a :class:`PerfResult`.
 
-    Unknown names raise ValueError with the available listing (from
+    ``workers`` sizes the process pool for sharded scenarios (see
+    :data:`repro.perf.scenarios.SHARDED_SCENARIOS`).  Their simulators
+    live in worker processes where the parent's :class:`KernelTally`
+    cannot see them, so event and sim-time totals come from the merged
+    shard results instead; the profiled rerun is skipped because a
+    parent-side profile would only rank pool bookkeeping and pickle
+    frames, not simulation work.  Unknown names raise ValueError with
+    the available listing (from
     :func:`repro.perf.scenarios.run_macro_scenario`).
     """
+    sharded = name in SHARDED_SCENARIOS
     gc_was_enabled = gc.isenabled()
     with KernelTally() as tally:
         gc.disable()
         try:
             start = time.perf_counter()
-            detail = run_macro_scenario(name, seed=seed)
+            detail = run_macro_scenario(name, seed=seed, workers=workers)
             wall = time.perf_counter() - start
         finally:
             if gc_was_enabled:
                 gc.enable()
             gc.collect()
-    events = tally.events
-    sim_seconds = tally.sim_seconds
+    if tally.sims:
+        events = tally.events
+        sim_seconds = tally.sim_seconds
+        simulators = len(tally.sims)
+    else:
+        events = detail.get("dispatched", 0)
+        sim_seconds = detail.get("sim_seconds", 0.0)
+        simulators = detail.get("shards", 0)
     frames = []
-    if profile:
+    if profile and not sharded:
         _, frames = capture_profile(
             lambda: run_macro_scenario(name, seed=seed), top=top)
     return PerfResult(
@@ -135,17 +156,24 @@ def run_perf(name, seed=0, profile=True, top=12):
         events_per_sec=round(events / wall, 3) if wall > 0 else 0.0,
         sim_seconds_per_wall_second=(
             round(sim_seconds / wall, 3) if wall > 0 else 0.0),
-        simulators=len(tally.sims),
+        simulators=simulators,
+        workers=(workers or 1) if sharded else 0,
         detail=detail,
         hot_frames=frames)
 
 
 def results_to_bench(results):
-    """Wrap PerfResults in the machine-readable BENCH_perf envelope."""
+    """Wrap PerfResults in the machine-readable BENCH_perf envelope.
+
+    ``cpus`` records the box's core count because sharded rows are
+    meaningless without it: a 4-worker run on one core measures pool
+    overhead, not parallel speedup.
+    """
     return {
         "schema": BENCH_SCHEMA,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "cpus": os.cpu_count(),
         "scenarios": sorted(SCENARIOS),
         "results": [r.to_dict() for r in results],
     }
@@ -162,7 +190,9 @@ def write_bench(results, path="BENCH_perf.json"):
 def format_result(result):
     """Human-readable report for one :class:`PerfResult`."""
     lines = [
-        "scenario %s (seed %d)" % (result.scenario, result.seed),
+        "scenario %s (seed %d%s)"
+        % (result.scenario, result.seed,
+           ", %d worker(s)" % result.workers if result.workers else ""),
         "  wall           %10.3f s" % result.wall_seconds,
         "  events         %10d   (%s/sec)"
         % (result.events, _si(result.events_per_sec)),

@@ -54,6 +54,44 @@ def _fleet_scenario(desktops, laptops, days):
 
 
 # ---------------------------------------------------------------------------
+# Sharded fleet scenarios (repro.fleetd): the same Figure 9 machinery
+# partitioned into shared-nothing shards and fanned out over a worker
+# pool.  These run *uninstrumented* (instrument=False) so their wall
+# numbers stay comparable with the bare single-process scenarios;
+# equivalence to the single-process schedule is proven separately by
+# `repro fleetd --verify`, not re-proven inside every timing run.
+# Seeds pass straight to the shard planner, which derives per-shard
+# masters via derive_rng("fleetd", scenario, seed, shard).
+
+
+def _sharded_fleet(fleetd_scenario):
+    def run(name, seed=0, observatory=None, workers=1):
+        # An observatory cannot cross the process boundary; sharded
+        # timing runs are bare by design (see the comment above).
+        from repro.fleetd.executor import run_sharded
+
+        report = run_sharded(fleetd_scenario, workers=workers, seed=seed,
+                             instrument=False)
+        return {
+            "clients": report.clients,
+            "days": report.days,
+            "shards": len(report.shards),
+            "workers": workers,
+            "dispatched": report.dispatched,
+            "sim_seconds": report.sim_seconds,
+            "validation_attempts": report.validation_attempts,
+            "mean_success_pct": report.mean_success_pct,
+            "mean_missing_pct": report.mean_missing_pct,
+        }
+    return run
+
+
+#: Scenario names executed through repro.fleetd; only these accept a
+#: worker count.
+SHARDED_SCENARIOS = frozenset({"fleetd-64", "fleet-256", "fleet-1024"})
+
+
+# ---------------------------------------------------------------------------
 # Weak-connectivity micro-fleet: the obs scenarios back to back
 
 
@@ -117,18 +155,31 @@ SCENARIOS = {
     "fleet-golden": _fleet_golden,
     "trickle-outage": _trickle_outage,
     "transport-sweep": _transport_sweep,
+    "fleetd-64": _sharded_fleet("fleet-64"),
+    "fleet-256": _sharded_fleet("fleet-256"),
+    "fleet-1024": _sharded_fleet("fleet-1024"),
 }
 
 
-def run_macro_scenario(name, seed=0, observatory=None):
+def run_macro_scenario(name, seed=0, observatory=None, workers=None):
     """Run macro-scenario ``name``; returns its detail dict.
 
-    Raises ValueError listing the choices for unknown names, like the
-    obs/faults scenario runners.
+    ``workers`` sizes the process pool for the sharded scenarios
+    (default 1) and is rejected for single-process ones — a silently
+    ignored worker count would corrupt cross-row comparisons in
+    BENCH_perf.json.  Raises ValueError listing the choices for
+    unknown names, like the obs/faults scenario runners.
     """
     try:
         scenario = SCENARIOS[name]
     except KeyError:
         raise ValueError("unknown perf scenario %r (have %s)"
                          % (name, ", ".join(sorted(SCENARIOS)))) from None
+    if name in SHARDED_SCENARIOS:
+        return scenario(name, seed=seed, observatory=observatory,
+                        workers=workers or 1)
+    if workers:
+        raise ValueError(
+            "--workers only applies to sharded scenarios (%s), not %r"
+            % (", ".join(sorted(SHARDED_SCENARIOS)), name))
     return scenario(name, seed=seed, observatory=observatory)

@@ -1,0 +1,75 @@
+"""The ``repro fleetd`` command and the perf ``--workers`` plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["fleetd", "--scenario", "fleet-8", "--days", "0.1"]
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fleetd"])
+    assert args.command == "fleetd"
+    assert args.scenario == "fleet-8"
+    assert args.workers == 4
+    assert args.seed == 0
+    assert args.days is None
+    assert not args.verify
+
+
+def test_fleetd_runs_and_reports(capsys):
+    assert main(ARGS + ["--workers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fleetd fleet-8" in out
+    assert "fleet digest" in out
+    assert "shard 00" in out and "shard 01" in out
+
+
+def test_fleetd_verify_passes(capsys):
+    assert main(ARGS + ["--workers", "2", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+
+
+def test_fleetd_json_report(tmp_path, capsys):
+    out_file = tmp_path / "FLEET_report.json"
+    assert main(ARGS + ["--workers", "1", "--json",
+                        "--out", str(out_file)]) == 0
+    loaded = json.load(open(out_file))
+    assert loaded["schema"] == "repro.fleetd/1"
+    assert loaded["scenario"] == "fleet-8"
+    assert loaded["clients"] == 8
+    assert len(loaded["shards"]) == 2
+    assert all(shard["digest"] for shard in loaded["shards"])
+
+
+def test_fleetd_in_process_workers_zero(capsys):
+    assert main(ARGS + ["--workers", "0"]) == 0
+    assert "in-process" in capsys.readouterr().out
+
+
+def test_fleetd_unknown_scenario():
+    with pytest.raises(SystemExit, match="fleet-1024"):
+        main(["fleetd", "--scenario", "fleet-9000"])
+
+
+def test_fleetd_fast_mode_shrinks_days(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    assert main(["fleetd", "--scenario", "fleet-8", "--workers", "0"]) == 0
+    # fleet-8 catalogues 2.0 days; REPRO_FAST runs an eighth.
+    assert "0.25 day(s)" in capsys.readouterr().out
+
+
+def test_perf_workers_flag_is_repeatable():
+    args = build_parser().parse_args(
+        ["perf", "--scenario", "fleetd-64",
+         "--workers", "1", "--workers", "4"])
+    assert args.workers == [1, 4]
+
+
+def test_perf_rejects_workers_on_unsharded(capsys):
+    with pytest.raises(SystemExit, match="only applies to sharded"):
+        main(["perf", "--scenario", "fleet-8", "--workers", "2",
+              "--no-profile"])

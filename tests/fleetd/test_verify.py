@@ -1,0 +1,133 @@
+"""The equivalence proof, and that it actually catches divergence.
+
+A verifier that always says yes is worse than none, so half of this
+file plants corruptions — flipped digests, foreign node identities,
+backwards timestamps — and checks the verify layer names them.
+"""
+
+import copy
+
+import pytest
+
+from repro.fleetd import (
+    merged_stream_invariants,
+    plan_shards,
+    run_sharded,
+    verify_sharded,
+)
+from repro.fleetd.verify import MERGED_INVARIANTS, compare_reports
+
+DAYS = 0.1
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    return run_sharded("fleet-8", workers=2, days=DAYS)
+
+
+def test_pooled_run_verifies_clean(pooled):
+    verdict = verify_sharded("fleet-8", days=DAYS, report=pooled)
+    assert verdict.ok
+    assert verdict.shards == 2
+    assert verdict.workers == 2
+    text = verdict.format()
+    assert "byte-identical" in text
+    assert "%d invariant(s)" % len(MERGED_INVARIANTS) in text
+
+
+def test_flipped_digest_is_named(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[1]["digest"] = "0" * 64
+    verdict = verify_sharded("fleet-8", days=DAYS, report=tampered)
+    assert not verdict.ok
+    assert any(m.shard == 1 and m.name == "digest"
+               for m in verdict.mismatches)
+    assert "shard 01 digest" in verdict.format()
+
+
+def test_tampered_client_report_is_caught(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.reports[0]["attempts"] += 1
+    # validation_attempts is derived from the reports, so recompute it
+    # the way a buggy merge would — keeping totals consistent makes
+    # the reports comparison itself do the catching.
+    tampered.validation_attempts += 1
+    verdict = verify_sharded("fleet-8", days=DAYS, report=tampered)
+    assert any(m.name in ("client reports", "validation_attempts")
+               for m in verdict.mismatches)
+
+
+def test_compare_reports_sees_shard_count_drift(pooled):
+    truncated = copy.deepcopy(pooled)
+    truncated.shards = truncated.shards[:1]
+    mismatches = compare_reports(truncated, pooled)
+    assert any(m.name == "shard count" for m in mismatches)
+
+
+def test_invariants_pass_on_a_real_run(pooled):
+    assert merged_stream_invariants(pooled) == []
+
+
+def test_invariant_shard_cover(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[1]["index"] = 5
+    assert any(v.startswith("shard-cover")
+               for v in merged_stream_invariants(tampered))
+
+
+def test_invariant_monotone_time(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[0]["stream_stats"]["monotone"] = False
+    assert any("goes backwards" in v
+               for v in merged_stream_invariants(tampered))
+
+
+def test_invariant_taxonomy(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[0]["stream_stats"]["kinds"]["warp_drive"] = 3
+    violations = merged_stream_invariants(tampered)
+    assert any("taxonomy" in v and "warp_drive" in v for v in violations)
+
+
+def test_invariant_ownership_foreign_prefix(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[0]["stream_stats"]["nodes"].append("s01-mallory")
+    violations = merged_stream_invariants(tampered)
+    assert any("outside its prefix" in v for v in violations)
+
+
+def test_invariant_ownership_cross_shard_leak(pooled):
+    tampered = copy.deepcopy(pooled)
+    name = "s00-eve"
+    tampered.shards[0]["stream_stats"]["nodes"].append(name)
+    tampered.shards[1]["stream_stats"]["nodes"].append(name)
+    violations = merged_stream_invariants(tampered)
+    assert any("appears in shards" in v for v in violations)
+
+
+def test_infrastructure_nodes_are_exempt(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[0]["stream_stats"]["nodes"].append("server")
+    assert merged_stream_invariants(tampered) == \
+        merged_stream_invariants(pooled)
+
+
+def test_uninstrumented_shard_is_a_violation(pooled):
+    tampered = copy.deepcopy(pooled)
+    tampered.shards[1]["stream_stats"] = None
+    assert any("no stream stats" in v
+               for v in merged_stream_invariants(tampered))
+
+
+def test_verify_runs_its_own_pool_when_not_given_one():
+    verdict = verify_sharded("fleet-8", workers=1, days=DAYS)
+    assert verdict.ok
+    assert verdict.workers == 1
+
+
+def test_plan_reuse_matches_report_days(pooled):
+    # verify_sharded(days=None, report=...) must rebuild the plan with
+    # the report's own days, not the catalogue default.
+    verdict = verify_sharded("fleet-8", report=pooled)
+    assert verdict.ok
+    assert plan_shards("fleet-8", days=pooled.days)[0].days == DAYS

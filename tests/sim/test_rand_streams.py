@@ -1,0 +1,99 @@
+"""Golden-value regression for the named random streams.
+
+``derive_rng`` seeds ``random.Random`` with a joined string, and every
+benchmark table, fleet population, and ``--seed`` universe in the repo
+is downstream of those sequences.  CPython guarantees the Mersenne
+Twister sequence for a given seed across versions, so these pins only
+move if someone changes the seed-string derivation itself — which is
+exactly the change they exist to catch.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.sim import RandomStreams
+from repro.sim.rand import derive_rng
+
+DRAWS = 8
+
+
+def draws(rng, n=DRAWS):
+    return [rng.getrandbits(32) for _ in range(n)]
+
+
+#: First 8 ``getrandbits(32)`` draws of streams real subsystems use.
+#: Regenerate (only after an intentional derivation change) with:
+#:   python -c "from repro.sim.rand import derive_rng;
+#:              print([derive_rng(*parts).getrandbits(32) ...])"
+GOLDEN_DERIVED = {
+    ("fleetd", "fleet-8", 0, 0): [
+        1832018607, 2516695690, 2307025686, 90072747,
+        1314169706, 4237425191, 2453656975, 3113730993],
+    ("fleetd", "fleet-8", 0, 1): [
+        3886598806, 630532516, 1095761789, 383701309,
+        3267658468, 1241483664, 1639471131, 3585001498],
+    ("obs", "trickle", 1): [
+        2585114896, 674925973, 1977366730, 3526794235,
+        2716865569, 1675775403, 182580537, 623468470],
+    ("faults", "smoke", 1): [
+        383930861, 2359374621, 3801511970, 2304489320,
+        3190757155, 1214478007, 3658714206, 3636595678],
+}
+
+GOLDEN_STREAMS = {
+    (0, "loss"): [
+        2989383808, 1149800863, 161334456, 3522576135,
+        4159769334, 3164095892, 2581956590, 2611369315],
+    (0, "think"): [
+        3259410591, 1090541337, 2828039553, 558942002,
+        2878050796, 1809186478, 452580718, 179903057],
+}
+
+
+def test_derive_rng_sequences_are_pinned():
+    for parts, expected in GOLDEN_DERIVED.items():
+        assert draws(derive_rng(*parts)) == expected, parts
+
+
+def test_random_streams_sequences_are_pinned():
+    for (seed, name), expected in GOLDEN_STREAMS.items():
+        assert draws(RandomStreams(seed).stream(name)) == expected, name
+
+
+def test_derive_rng_equals_joined_string_seed():
+    # The documented contract: parts join with "::"; historical string
+    # seeders must keep byte-identical sequences.
+    import random
+    assert draws(derive_rng("hoard", "user1", 3)) == \
+        draws(random.Random("hoard::user1::3"))
+
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters=":"),
+    min_size=1, max_size=12)
+
+
+@given(st.lists(names, min_size=2, max_size=6, unique=True),
+       st.integers(min_value=0, max_value=2**16))
+def test_distinct_stream_names_give_distinct_prefixes(stream_names, seed):
+    streams = RandomStreams(seed)
+    prefixes = [tuple(draws(streams.stream(name)))
+                for name in stream_names]
+    assert len(set(prefixes)) == len(prefixes)
+
+
+@given(st.lists(names, min_size=2, max_size=6, unique=True),
+       st.integers(min_value=0, max_value=2**16))
+def test_distinct_derivations_give_distinct_prefixes(parts, seed):
+    prefixes = [tuple(draws(derive_rng("t", part, seed)))
+                for part in parts]
+    assert len(set(prefixes)) == len(prefixes)
+
+
+@given(names, st.integers(min_value=0, max_value=2**16))
+def test_streams_do_not_interleave(name, seed):
+    # Consuming one stream never perturbs a sibling.
+    lone = draws(RandomStreams(seed).stream(name))
+    shared = RandomStreams(seed)
+    shared.stream(name + "!").random()
+    assert draws(shared.stream(name)) == lone

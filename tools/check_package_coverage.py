@@ -20,6 +20,7 @@ FLOORS = {
     "bench": 30.0,      # paper-scale tables run in benchmarks/, not tier-1
     "core": 85.0,
     "faults": 90.0,
+    "fleetd": 90.0,
     "fs": 85.0,
     "net": 85.0,
     "obs": 90.0,
