@@ -43,6 +43,9 @@ GOLDEN_SCENARIOS = (
     "mod:repro.perf.scenarios:fleet_golden",
     "mod:repro.fleetd.scenarios:golden_shard0",
     "mod:repro.fleetd.scenarios:golden_shard1",
+    "mod:repro.spec.golden:commuter_golden",
+    "mod:repro.spec.golden:conflict_storm_golden",
+    "mod:repro.spec.golden:doc_archive_golden",
 )
 
 #: Repo-relative fixture location (the CLI runs from the repo root;

@@ -20,6 +20,8 @@
     python -m repro perf --scenario fleet-256 --workers 4
     python -m repro fleetd --scenario fleet-64 --workers 4 --verify
     python -m repro golden --check       # golden timeline digests
+    python -m repro spec list            # the declarative catalogue
+    python -m repro spec run doc-archive --check-invariants
 """
 
 import argparse
@@ -290,6 +292,11 @@ def _cmd_check_determinism(args):
     raise SystemExit(divergence.main(argv))
 
 
+def _cmd_spec(args):
+    from repro.spec import cli as spec_cli
+    raise SystemExit(spec_cli.main(args.rest))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -449,6 +456,14 @@ def build_parser():
     p.add_argument("--scenario", action="append", default=None,
                    help="limit to specific scenario specs (repeatable)")
     p.set_defaults(fn=_cmd_golden)
+
+    p = sub.add_parser(
+        "spec", add_help=False,
+        help="inspect, validate, and run declarative scenario specs "
+             "(list | show | validate | run)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments for the spec subcommand")
+    p.set_defaults(fn=_cmd_spec)
 
     p = sub.add_parser(
         "check-determinism",

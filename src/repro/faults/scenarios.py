@@ -1,42 +1,27 @@
 """Canned fault scenarios for ``repro faults`` and the test suite.
 
-Each scenario builds the standard one-client/one-server testbed, arms
-a :class:`~repro.faults.injector.FaultInjector` with a scripted
-:class:`~repro.faults.plan.FaultPlan`, runs a deterministic workload
-through the faults, and returns the finished testbed (with the
-injector attached as ``testbed.faults``).  All file contents carry
-explicit tags so that two runs of the same scenario produce
-byte-identical namespace digests — the determinism tests depend on it.
+The scenarios are declarative specs in the shipped catalogue
+(:mod:`repro.spec.catalog`) — each carries its
+:class:`~repro.faults.plan.FaultPlan` as plain fault rows — and this
+module keeps the faults subsystem's historical API as thin wrappers
+over the spec compiler.  Each run builds the standard one-client
+testbed, arms a :class:`~repro.faults.injector.FaultInjector`, runs
+the deterministic workload through the faults, and returns the
+finished testbed (with the injector attached as ``testbed.faults``).
+All file contents carry explicit tags so that two runs of the same
+scenario produce byte-identical namespace digests — the determinism
+tests depend on it.
 """
 
-from repro.bench.common import make_testbed, populate_volume, warm_cache
-from repro.fs.content import SyntheticContent
-from repro.net import MODEM
 from repro.obs.scenarios import MOUNT, _probe_schedule, scenario_seed
 from repro.obs.scenarios import fingerprint as obs_fingerprint
-from repro.faults.injector import FaultInjector
-from repro.faults.plan import (
-    ClientCrash,
-    ClientRestart,
-    FaultPlan,
-    LinkOutage,
-    LossBurst,
-    ServerCrash,
-    ServerRestart,
-)
-from repro.venus import VenusConfig
+from repro.spec.catalog import get
+from repro.spec.compile import run_script_spec
 
-
-def _standard_volume(testbed):
-    tree = {
-        MOUNT + "/work": ("dir", 0),
-        MOUNT + "/work/draft.tex": ("file", 15_000),
-        MOUNT + "/work/figure.eps": ("file", 40_000),
-        MOUNT + "/work/notes.txt": ("file", 4_000),
-    }
-    volume = populate_volume(testbed.server, MOUNT, tree)
-    warm_cache(testbed.venus, testbed.server, volume)
-    return volume
+__all__ = ["FAULT_SCENARIOS", "MOUNT", "_probe_schedule",
+           "fault_fingerprint", "namespace_digest", "run_fault_scenario",
+           "scenario_seed", "smoke_scenario", "client_crash_scenario",
+           "server_crash_scenario"]
 
 
 def namespace_digest(server):
@@ -86,18 +71,13 @@ def fault_fingerprint(testbed):
     return digest
 
 
-def _faulted_testbed(config, plan, observatory, schedule_log, seed=0,
-                     checker=None):
-    testbed = make_testbed(MODEM, venus_config=config, seed=seed,
-                           observatory=observatory)
-    if schedule_log is not None:
-        _probe_schedule(testbed.sim, schedule_log)
-    if checker is not None:
-        checker.attach(testbed)
-    _standard_volume(testbed)
-    testbed.faults = FaultInjector(testbed, plan)
-    testbed.faults.start()
-    return testbed
+def _fault_wrapper(name):
+    def scenario(observatory=None, schedule_log=None, plan=None,
+                 checker=None, seed=0):
+        return run_script_spec(get(name), observatory=observatory,
+                               schedule_log=schedule_log, checker=checker,
+                               seed=seed, plan=plan)
+    return scenario
 
 
 def smoke_scenario(observatory=None, schedule_log=None, plan=None,
@@ -109,49 +89,8 @@ def smoke_scenario(observatory=None, schedule_log=None, plan=None,
     the CML, restarts from its RVM snapshot, reconnects, and drains.
     Fast enough for CI.
     """
-    if plan is None:
-        plan = FaultPlan([
-            LinkOutage(at=90.0, duration=40.0),
-            LossBurst(at=200.0, duration=40.0, loss_rate=0.25),
-            ClientCrash(at=310.0),
-            ClientRestart(at=340.0),
-        ])
-    # The short walk interval gives the client volume stamps (and the
-    # snapshot taken at the crash keeps them), so the restart goes
-    # through *rapid* validation, Figures 8-9.
-    config = VenusConfig(aging_window=30.0, daemon_period=5.0,
-                         probe_interval=30.0, hoard_walk_interval=120.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               seed=seed, checker=checker)
-    sim = testbed.sim
-
-    def session():
-        venus = testbed.venus
-        yield from venus.connect()
-        yield from venus.write_file(MOUNT + "/work/notes.txt",
-                                    SyntheticContent(6_000,
-                                                     tag=("smoke", 1)))
-        yield sim.timeout(55.0)
-        yield from venus.write_file(MOUNT + "/work/draft.tex",
-                                    SyntheticContent(16_000,
-                                                     tag=("smoke", 2)))
-        yield sim.timeout(100.0)
-        yield from venus.write_file(MOUNT + "/work/results.dat",
-                                    SyntheticContent(40_000,
-                                                     tag=("smoke", 3)))
-        yield sim.timeout(130.0)
-        # ~290 s: logged just before the scripted crash at 310 s; the
-        # record must survive the crash inside the snapshot.
-        yield from testbed.venus.write_file(
-            MOUNT + "/work/report.txt",
-            SyntheticContent(8_000, tag=("smoke", 4)))
-        yield sim.timeout(400.0)
-        # The restarted Venus (testbed.venus changed identity at the
-        # client_restart action) has reconnected and drained by now.
-        yield from testbed.venus.read_file(MOUNT + "/work/draft.tex")
-
-    sim.run(sim.process(session()))
-    return testbed
+    return _fault_wrapper("smoke")(observatory, schedule_log, plan,
+                                   checker, seed)
 
 
 def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
@@ -162,34 +101,8 @@ def client_crash_scenario(observatory=None, schedule_log=None, plan=None,
     replays the persisted CML, revalidates rapidly (stamps survive),
     and finishes shipping without applying anything twice.
     """
-    if plan is None:
-        plan = FaultPlan([
-            ClientCrash(at=130.0),
-            ClientRestart(at=160.0),
-        ])
-    config = VenusConfig(aging_window=30.0, daemon_period=5.0,
-                         probe_interval=30.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               seed=seed, checker=checker)
-    sim = testbed.sim
-
-    def session():
-        venus = testbed.venus
-        yield from venus.connect()
-        yield from venus.write_file(MOUNT + "/work/notes.txt",
-                                    SyntheticContent(5_000,
-                                                     tag=("ccrash", 1)))
-        yield sim.timeout(80.0)
-        # Aged at ~115 s, this 60 KB store is mid-flight (≈55 s on a
-        # modem) when the crash lands at 130 s.
-        yield from venus.write_file(MOUNT + "/work/results.dat",
-                                    SyntheticContent(60_000,
-                                                     tag=("ccrash", 2)))
-        yield sim.timeout(520.0)
-        yield from testbed.venus.read_file(MOUNT + "/work/results.dat")
-
-    sim.run(sim.process(session()))
-    return testbed
+    return _fault_wrapper("client-crash")(observatory, schedule_log, plan,
+                                          checker, seed)
 
 
 def server_crash_scenario(observatory=None, schedule_log=None, plan=None,
@@ -202,33 +115,8 @@ def server_crash_scenario(observatory=None, schedule_log=None, plan=None,
     surviving stamps on reconnection, and reintegration completes with
     every CML record applied exactly once.
     """
-    if plan is None:
-        plan = FaultPlan([
-            ServerCrash(at=100.0),
-            ServerRestart(at=130.0),
-        ])
-    config = VenusConfig(aging_window=20.0, daemon_period=5.0,
-                         probe_interval=30.0)
-    testbed = _faulted_testbed(config, plan, observatory, schedule_log,
-                               seed=seed, checker=checker)
-    sim = testbed.sim
-
-    def session():
-        venus = testbed.venus
-        yield from venus.connect()
-        yield from venus.write_file(MOUNT + "/work/draft.tex",
-                                    SyntheticContent(16_000,
-                                                     tag=("scrash", 1)))
-        yield sim.timeout(65.0)
-        # Aged at ~90 s; the ~27 s transfer straddles the crash at 100.
-        yield from venus.write_file(MOUNT + "/work/results.dat",
-                                    SyntheticContent(30_000,
-                                                     tag=("scrash", 2)))
-        yield sim.timeout(500.0)
-        yield from testbed.venus.read_file(MOUNT + "/work/results.dat")
-
-    sim.run(sim.process(session()))
-    return testbed
+    return _fault_wrapper("server-crash")(observatory, schedule_log, plan,
+                                          checker, seed)
 
 
 FAULT_SCENARIOS = {
@@ -242,11 +130,12 @@ def run_fault_scenario(name, observatory=None, schedule_log=None,
                        plan=None, checker=None, seed=None):
     """Run fault scenario ``name``; returns the finished testbed.
 
-    ``checker`` optionally attaches an
+    ``plan`` overrides the spec's scripted fault plan (tests build
+    bespoke plans this way).  ``checker`` optionally attaches an
     :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
     before the workload runs (requires ``observatory``).  ``seed``
     selects an alternate stream universe via
-    :func:`repro.obs.scenarios.scenario_seed` (kind ``"faults"``); the
+    :func:`~repro.spec.seeds.scenario_seed` (kind ``"faults"``); the
     default None keeps the canonical (golden-pinned) streams.
     """
     try:

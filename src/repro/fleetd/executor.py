@@ -101,16 +101,17 @@ def run_shard(shard, with_timeline=False, instrument=True):
     ``with_timeline`` additionally ships the event rows back, which
     only the small scenarios and tests want.
     """
-    from repro.bench.fleet import run_fleet_study
     from repro.perf.runner import KernelTally
+    from repro.spec.families import fleet_study
 
     observatory = None
     if instrument:
         from repro.obs import Observatory
         observatory = Observatory()
+    study = fleet_study(shard.family)
     with KernelTally() as tally:
-        desktops, laptops = run_fleet_study(shard_config(shard),
-                                            observatory=observatory)
+        desktops, laptops = study(shard_config(shard),
+                                  observatory=observatory)
     result = ShardResult(
         index=shard.index, seed=shard.seed,
         desktops=shard.desktops, laptops=shard.laptops,

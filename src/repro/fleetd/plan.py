@@ -39,25 +39,33 @@ class FleetSpec:
     laptops: int
     days: float
     shards: int
+    family: str = "figure9"
 
     @property
     def clients(self):
         return self.desktops + self.laptops
 
 
-#: The sharded scenario catalogue.  fleet-8/32/64 mirror the perf
-#: macro-scenario populations; fleet-256 and fleet-1024 exist only
-#: sharded (their single-process runs would be tens of minutes).  Days
-#: shrink as populations grow so every scenario stays in the
-#: 3–7M-event band the perf harness times.
-FLEET_SPECS = {
-    "fleet-8": FleetSpec(desktops=5, laptops=3, days=2.0, shards=2),
-    "fleet-32": FleetSpec(desktops=20, laptops=12, days=1.0, shards=4),
-    "fleet-64": FleetSpec(desktops=40, laptops=24, days=1.0, shards=8),
-    "fleet-256": FleetSpec(desktops=160, laptops=96, days=0.5, shards=16),
-    "fleet-1024": FleetSpec(desktops=640, laptops=384, days=0.125,
-                            shards=32),
-}
+def _fleet_specs():
+    """The sharded scenario catalogue, derived from the spec catalogue.
+
+    Every fleet-kind spec with a shard count appears here.  fleet-8/32/
+    64 mirror the perf macro-scenario populations; fleet-256 and
+    fleet-1024 exist only sharded (their single-process runs would be
+    tens of minutes); commuter is the diurnal family behind the same
+    interface.  Days shrink as populations grow so every scenario stays
+    in the 3–7M-event band the perf harness times.
+    """
+    from repro.spec.catalog import shipped
+    return {spec.name: FleetSpec(desktops=spec.clients.desktops,
+                                 laptops=spec.clients.laptops,
+                                 days=spec.duration, shards=spec.shards,
+                                 family=spec.family)
+            for spec in shipped()
+            if spec.kind == "fleet" and spec.shards is not None}
+
+
+FLEET_SPECS = _fleet_specs()
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,7 @@ class Shard:
     days: float
     seed: int           # derived master seed for this shard's streams
     name_prefix: str    # owns every client/volume identity it stamps
+    family: str = "figure9"
 
     @property
     def clients(self):
@@ -114,22 +123,30 @@ def plan_shards(scenario, seed=0, days=None):
                   desktops=desktops[index], laptops=laptops[index],
                   days=spec.days if days is None else days,
                   seed=shard_seed(scenario, seed, index),
-                  name_prefix="s%02d-" % index)
+                  name_prefix="s%02d-" % index,
+                  family=spec.family)
             for index in range(spec.shards)]
 
 
 def shard_config(shard):
-    """The :class:`repro.bench.fleet.FleetConfig` realizing ``shard``.
+    """The family config realizing ``shard``, via the spec compiler.
 
     Every shard keeps the classic per-community volume population
-    (shared/system/extra counts are FleetConfig defaults): a shard
-    models one project group on its own volume set, which is the
+    (shared/system/extra counts are the family config's defaults): a
+    shard models one project group on its own volume set, which is the
     paper's own unit of interaction.  This is the single construction
     path — the executor, the golden fixtures, and the verify reference
     all build shard simulations through here, so "the same clients
     simulated alone" is true by construction, not by convention.
+    Compilation goes through :func:`repro.spec.compile.fleet_config`
+    with the shard's population overriding the spec's, so a figure9
+    shard still produces exactly the classic
+    :class:`repro.bench.fleet.FleetConfig`.
     """
-    from repro.bench.fleet import FleetConfig
-    return FleetConfig(desktops=shard.desktops, laptops=shard.laptops,
-                       days=shard.days, seed=shard.seed,
-                       name_prefix=shard.name_prefix)
+    from dataclasses import replace
+    from repro.spec.catalog import get
+    from repro.spec.compile import fleet_config
+
+    config = fleet_config(get(shard.scenario), master=shard.seed,
+                          days=shard.days, name_prefix=shard.name_prefix)
+    return replace(config, desktops=shard.desktops, laptops=shard.laptops)

@@ -1,5 +1,12 @@
 """Canned scenarios the ``repro obs`` command can instrument.
 
+The scenarios themselves are declarative specs in the shipped
+catalogue (:mod:`repro.spec.catalog`); this module keeps the obs
+subsystem's historical API — ``SCENARIOS``, :func:`run_scenario`,
+:func:`fingerprint` — as thin wrappers over the spec compiler.  The
+golden timeline digests pin the compiled runs byte-identical to the
+original hand-written scenario functions.
+
 Each scenario builds a standard testbed (one client, one server, one
 link), runs a deterministic workload exercising the paper's weak-
 connectivity machinery, and returns the finished testbed.  Passing an
@@ -10,53 +17,13 @@ dispatch order, which the determinism regression test compares between
 instrumented and uninstrumented runs.
 """
 
-from repro.bench.common import make_testbed, populate_volume, warm_cache
-from repro.fs.content import SyntheticContent
-from repro.net import MODEM, WAVELAN
-from repro.sim.rand import derive_rng
-from repro.venus import VenusConfig
+from repro.spec.catalog import MOUNT, get
+from repro.spec.compile import probe_schedule as _probe_schedule
+from repro.spec.compile import run_script_spec
+from repro.spec.seeds import scenario_seed
 
-MOUNT = "/coda/usr/bob"
-
-
-def scenario_seed(kind, name, seed):
-    """Master testbed seed for ``--seed`` runs of a canned scenario.
-
-    ``None`` (no ``--seed`` given) preserves the canonical streams the
-    golden fixtures pin; an explicit seed derives a fresh universe via
-    :func:`~repro.sim.rand.derive_rng` (seed string
-    ``"<kind>::<name>::<seed>"``) so CLI seeds can never collide with
-    another subsystem's derivations.
-    """
-    if seed is None:
-        return 0
-    return derive_rng(kind, name, seed).getrandbits(63)
-
-
-def _probe_schedule(sim, schedule_log):
-    """Wrap ``sim.step`` to log each dispatch's heap key."""
-    original_step = sim.step
-
-    def probed_step():
-        # repro: allow[SIM001] read-only peek at the next dispatch key; the
-        # determinism regression tests need the raw (time, priority, seq)
-        # order and this probe never mutates the heap.
-        schedule_log.append(sim._queue[0][:3])
-        original_step()
-
-    sim.step = probed_step
-
-
-def _standard_volume(testbed):
-    tree = {
-        MOUNT + "/work": ("dir", 0),
-        MOUNT + "/work/draft.tex": ("file", 15_000),
-        MOUNT + "/work/figure.eps": ("file", 40_000),
-        MOUNT + "/work/notes.txt": ("file", 4_000),
-    }
-    volume = populate_volume(testbed.server, MOUNT, tree)
-    warm_cache(testbed.venus, testbed.server, volume)
-    return volume
+__all__ = ["MOUNT", "SCENARIOS", "fingerprint", "run_scenario",
+           "scenario_seed", "trickle_scenario", "outage_scenario"]
 
 
 def trickle_scenario(observatory=None, schedule_log=None, checker=None,
@@ -68,36 +35,9 @@ def trickle_scenario(observatory=None, schedule_log=None, checker=None,
     chunk (fragmented shipping), and a foreground miss racing the
     background reintegration.
     """
-    config = VenusConfig(aging_window=300.0, chunk_seconds=30.0,
-                         daemon_period=5.0)
-    testbed = make_testbed(MODEM, venus_config=config, seed=seed,
-                           observatory=observatory)
-    if schedule_log is not None:
-        _probe_schedule(testbed.sim, schedule_log)
-    if checker is not None:
-        checker.attach(testbed)
-    _standard_volume(testbed)
-    venus = testbed.venus
-    sim = testbed.sim
-
-    def session():
-        yield from venus.connect()
-        yield from venus.write_file(MOUNT + "/work/draft.tex",
-                                    SyntheticContent(16_000))
-        yield sim.timeout(120.0)
-        yield from venus.write_file(MOUNT + "/work/draft.tex",
-                                    SyntheticContent(17_000))
-        yield from venus.write_file(MOUNT + "/work/results.dat",
-                                    SyntheticContent(120_000))
-        yield sim.timeout(600.0)
-        entry = yield from venus.stat(MOUNT + "/work/figure.eps")
-        venus.cache.remove(entry.fid)
-        venus.hoard(MOUNT + "/work/figure.eps", 900)
-        yield from venus.read_file(MOUNT + "/work/figure.eps")
-        yield sim.timeout(900.0)
-
-    sim.run(sim.process(session()))
-    return testbed
+    return run_script_spec(get("trickle"), observatory=observatory,
+                           schedule_log=schedule_log, checker=checker,
+                           seed=seed)
 
 
 def outage_scenario(observatory=None, schedule_log=None, checker=None,
@@ -107,35 +47,9 @@ def outage_scenario(observatory=None, schedule_log=None, checker=None,
     Exercises link_up/link_down events, disconnected operation, the
     reconnection validation path, and the CML drain on reconnection.
     """
-    config = VenusConfig(aging_window=60.0, daemon_period=5.0,
-                         probe_interval=30.0)
-    testbed = make_testbed(WAVELAN, venus_config=config, seed=seed,
-                           observatory=observatory)
-    if schedule_log is not None:
-        _probe_schedule(testbed.sim, schedule_log)
-    if checker is not None:
-        checker.attach(testbed)
-    _standard_volume(testbed)
-    venus = testbed.venus
-    sim = testbed.sim
-    testbed.link.outage(after=60.0, duration=120.0)
-
-    def session():
-        yield from venus.connect()
-        yield from venus.write_file(MOUNT + "/work/notes.txt",
-                                    SyntheticContent(6_000))
-        yield sim.timeout(90.0)     # now inside the outage
-        try:
-            yield from venus.write_file(MOUNT + "/work/draft.tex",
-                                        SyntheticContent(18_000))
-        except OSError:
-            pass
-        yield sim.timeout(300.0)    # reconnect probes fire, CML drains
-        yield from venus.read_file(MOUNT + "/work/figure.eps")
-        yield sim.timeout(120.0)
-
-    sim.run(sim.process(session()))
-    return testbed
+    return run_script_spec(get("outage"), observatory=observatory,
+                           schedule_log=schedule_log, checker=checker,
+                           seed=seed)
 
 
 SCENARIOS = {
@@ -151,8 +65,9 @@ def run_scenario(name, observatory=None, schedule_log=None, checker=None,
     ``checker`` optionally attaches an
     :class:`~repro.analysis.invariants.InvariantChecker` to the testbed
     before the workload runs (requires ``observatory``).  ``seed``
-    selects an alternate stream universe via :func:`scenario_seed`;
-    the default None keeps the canonical (golden-pinned) streams.
+    selects an alternate stream universe via
+    :func:`~repro.spec.seeds.scenario_seed`; the default None keeps
+    the canonical (golden-pinned) streams.
     """
     try:
         scenario = SCENARIOS[name]

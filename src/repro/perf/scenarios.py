@@ -6,35 +6,40 @@ from different checkouts are comparable and the obs timeline of the
 instrumented variants can be pinned by golden digests
 (:mod:`repro.analysis.golden`).
 
-Scenario master seeds are derived through
-:func:`repro.sim.rand.derive_rng` — the same sanctioned derivation the
-bench tables use — so ``perf`` seeds can never collide with (or
-perturb) another subsystem's streams.
+Scenario master seeds are derived through the one sanctioned
+scenario-seed helper (:mod:`repro.spec.seeds`, kind ``"perf"`` — seed
+string ``"perf::<name>::<seed>"``, 32 bits, exactly what this module
+derived by hand before the spec DSL) so ``perf`` seeds can never
+collide with (or perturb) another subsystem's streams.  The fleet
+population tables live in the shipped spec catalogue
+(:mod:`repro.spec.catalog`); this module compiles those specs.
 """
 
-from repro.sim.rand import derive_rng
+from repro.spec.seeds import scenario_seed as _spec_scenario_seed
 
 
 def scenario_seed(name, seed=0):
     """The per-scenario master seed for ``(name, seed)``.
 
-    Routed through :func:`~repro.sim.rand.derive_rng` (seed string
-    ``"perf::<name>::<seed>"``) so every scenario family draws from its
-    own reproducible universe; the ``seed`` argument selects among
-    universes without hand-built arithmetic on raw integers.
+    Routed through :func:`repro.spec.seeds.scenario_seed` with kind
+    ``"perf"`` and the legacy 32-bit width, so every scenario family
+    draws from its own reproducible universe and historical seeds stay
+    byte-identical.
     """
-    return derive_rng("perf", name, seed).getrandbits(32)
+    return _spec_scenario_seed("perf", name, seed, bits=32)
 
 
 # ---------------------------------------------------------------------------
 # Fleet scenarios (the Figure 9 machinery at three population scales)
 
 
-def _run_fleet(name, desktops, laptops, days, seed, observatory):
+def _run_fleet(name, days, seed, observatory):
     from repro.bench import fleet
+    from repro.spec.catalog import get
+    from repro.spec.compile import fleet_config
 
-    config = fleet.FleetConfig(desktops=desktops, laptops=laptops,
-                               days=days, seed=scenario_seed(name, seed))
+    config = fleet_config(get(name), master=scenario_seed(name, seed),
+                          days=days)
     desks, laps = fleet.run_fleet_study(config, observatory=observatory)
     reports = desks + laps
     n = len(reports) or 1
@@ -47,9 +52,9 @@ def _run_fleet(name, desktops, laptops, days, seed, observatory):
     }
 
 
-def _fleet_scenario(desktops, laptops, days):
+def _fleet_scenario(days):
     def run(name, seed=0, observatory=None):
-        return _run_fleet(name, desktops, laptops, days, seed, observatory)
+        return _run_fleet(name, days, seed, observatory)
     return run
 
 
@@ -139,8 +144,8 @@ def fleet_golden(observatory=None, seed=0):
     ``repro check-determinism``; the golden-timeline fixtures hash the
     obs timeline of exactly this run.
     """
-    return _run_fleet("fleet-golden", desktops=2, laptops=1, days=0.5,
-                      seed=seed, observatory=observatory)
+    return _run_fleet("fleet-golden", days=0.5, seed=seed,
+                      observatory=observatory)
 
 
 def _fleet_golden(name, seed=0, observatory=None):
@@ -149,9 +154,9 @@ def _fleet_golden(name, seed=0, observatory=None):
 
 #: name -> callable(name, seed=, observatory=) returning a detail dict.
 SCENARIOS = {
-    "fleet-8": _fleet_scenario(desktops=5, laptops=3, days=2.0),
-    "fleet-32": _fleet_scenario(desktops=20, laptops=12, days=1.0),
-    "fleet-64": _fleet_scenario(desktops=40, laptops=24, days=1.0),
+    "fleet-8": _fleet_scenario(days=2.0),
+    "fleet-32": _fleet_scenario(days=1.0),
+    "fleet-64": _fleet_scenario(days=1.0),
     "fleet-golden": _fleet_golden,
     "trickle-outage": _trickle_outage,
     "transport-sweep": _transport_sweep,

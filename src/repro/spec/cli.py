@@ -1,0 +1,217 @@
+"""``repro spec`` — inspect, validate, and run declarative scenarios.
+
+Subcommands::
+
+    repro spec list                  # the shipped catalogue, one line each
+    repro spec show <name>           # a spec's canonical JSON document
+    repro spec validate --all        # strict-check every shipped spec
+    repro spec validate <name>...    # ...or just the named ones
+    repro spec run <name>            # compile and run, with a summary
+
+``run`` honors ``REPRO_FAST=1`` the way the fleetd CLI does: fleet
+specs get an eighth of their catalogue duration (or the family's
+:data:`~repro.spec.catalog.FAST_FLEET` shape, where a straight time
+cut would skip the behaviour under test), testbed families get their
+:data:`~repro.spec.catalog.FAST_PARAMS` overrides.  Golden digests
+always pin the full-scale entry points in :mod:`repro.spec.golden`,
+which ignore the environment.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def _cmd_list(args):
+    from repro.spec.catalog import shipped
+    for spec in shipped():
+        clients = (spec.clients.desktops + spec.clients.laptops
+                   if spec.kind == "fleet" else spec.clients.count)
+        duration = ("%g day(s)" % spec.duration
+                    if spec.kind == "fleet" else "workload")
+        print("%-16s %-8s %-15s %4d client(s)  %-10s %s"
+              % (spec.name, spec.kind, spec.family, clients, duration,
+                 spec.title))
+    return 0
+
+
+def _cmd_show(args):
+    from repro.spec.catalog import get
+    try:
+        spec = get(args.name)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def _validate_one(spec):
+    """Strict-check one spec plus its serialization round trip.
+
+    Returns a list of error strings (empty when the spec is sound).
+    The round trip — spec -> JSON -> spec, compared for equality —
+    catches fields that validate live but do not survive the canonical
+    document form, which would break every consumer of shipped specs.
+    """
+    from repro.spec.model import ScenarioSpec, SpecError
+    try:
+        spec.check()
+    except SpecError as exc:
+        return list(exc.errors)
+    try:
+        again = ScenarioSpec.from_json(spec.to_json())
+    except (SpecError, ValueError) as exc:
+        return ["round-trip: %s" % exc]
+    if again != spec:
+        return ["round-trip: spec != from_json(to_json(spec))"]
+    return []
+
+
+def _cmd_validate(args):
+    from repro.spec.catalog import get, shipped
+    if args.all:
+        specs = shipped()
+    elif args.names:
+        specs = []
+        for name in args.names:
+            try:
+                specs.append(get(name))
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+    else:
+        print("repro spec validate: name one or more specs, or --all",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for spec in specs:
+        errors = _validate_one(spec)
+        if errors:
+            failures += 1
+            print("%-16s INVALID" % spec.name)
+            for error in errors:
+                print("    " + error)
+        else:
+            print("%-16s ok" % spec.name)
+    if failures:
+        print("%d of %d spec(s) invalid" % (failures, len(specs)))
+        return 1
+    print("%d spec(s) valid" % len(specs))
+    return 0
+
+
+def _fast_variant(spec, days):
+    """(spec, days) after REPRO_FAST scaling, CLI override winning."""
+    if not os.environ.get("REPRO_FAST"):
+        return spec, days
+    from repro.spec.catalog import FAST_FLEET, fast_spec
+    if spec.kind == "fleet":
+        shape = FAST_FLEET.get(spec.family)
+        if shape:
+            from dataclasses import replace
+            clients = replace(spec.clients,
+                              count=shape["desktops"] + shape["laptops"],
+                              desktops=shape["desktops"],
+                              laptops=shape["laptops"])
+            spec = replace(spec, clients=clients)
+            return spec, shape["days"] if days is None else days
+        return spec, spec.duration / 8.0 if days is None else days
+    return fast_spec(spec), days
+
+
+def _cmd_run(args):
+    from repro.obs import Observatory, report
+    from repro.spec.catalog import get
+    from repro.spec.compile import run_spec, stream_sweep
+
+    try:
+        spec = get(args.name)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    spec, days = _fast_variant(spec, args.days)
+    observatory = Observatory()
+    result = run_spec(spec, observatory=observatory, seed=args.seed,
+                      days=days, check_invariants=args.check_invariants)
+    print("spec %s (%s/%s): %s"
+          % (spec.name, spec.kind, spec.family, spec.title))
+    for key in sorted(result.summary):
+        print("  %-26s %s" % (key, result.summary[key]))
+    print(report.summary(observatory))
+    if args.json:
+        payload = {"spec": spec.to_dict(), "seed": result.seed,
+                   "summary": result.summary}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.out)
+    if not args.check_invariants:
+        return 0
+    violations = list(stream_sweep(observatory))
+    checks = 0
+    for checker in result.checkers:
+        checker.check_all()
+        checks += checker.checks
+        violations.extend(v.format() for v in checker.violations)
+    print("invariants: %d checker(s), %d check(s), %d violation(s)"
+          % (len(result.checkers), checks, len(violations)))
+    for violation in violations:
+        print("  " + violation)
+    return 1 if violations else 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro spec",
+        description="Inspect, validate, and run declarative scenario "
+                    "specs (the shipped catalogue)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="the shipped catalogue, one per line")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("show", help="print a spec's canonical JSON")
+    p.add_argument("name")
+    p.set_defaults(fn=_cmd_show)
+
+    p = sub.add_parser(
+        "validate",
+        help="strict-check specs (exit 1 on any invalid, listing "
+             "per-spec errors)")
+    p.add_argument("names", nargs="*",
+                   help="spec names (default: require --all)")
+    p.add_argument("--all", action="store_true",
+                   help="validate every shipped spec")
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "run",
+        help="compile and run a spec; print its summary report")
+    p.add_argument("name")
+    p.add_argument("--seed", type=int, default=None,
+                   help="alternate stream universe (folded through the "
+                        "spec's seed kind); default: the canonical "
+                        "golden-pinned streams")
+    p.add_argument("--days", type=float, default=None,
+                   help="override a fleet spec's simulated days")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="attach invariant checkers and audit the event "
+                        "stream; exit 1 on any violation")
+    p.add_argument("--json", action="store_true",
+                   help="write the spec, seed, and summary as JSON")
+    p.add_argument("--out", default="SPEC_report.json",
+                   help="path for --json output "
+                        "(default SPEC_report.json)")
+    p.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,641 @@
+"""Measured workload families the spec DSL opens up.
+
+Three families the original evaluation never ran, each exercising a
+different leg of the paper's weak-connectivity machinery:
+
+* **commuter** — a fleet living a diurnal day-cycle: laptops commute
+  off the network every morning and evening, desktops hum along with
+  rare outages, and all activity follows office hours.  Reintegration
+  and reconnection validation happen at the day boundaries instead of
+  Poisson-random times (Figure 9's phenomena under a periodic rhythm).
+* **conflict-storm** — many writers sharing one volume, repeatedly
+  writing overlapping files while disconnected.  Reintegration detects
+  the update/update conflicts (section 2.2, after Kumar), parks them,
+  and the writers repair deterministically — half keep "mine", half
+  keep "theirs".
+* **doc-archive** — a Stanski-style document-archiving client: hoard a
+  couple of prefetch containers while strongly connected, walk, then
+  roam onto a weak link and read documents in and out of the hoarded
+  set, driving transparent fetches, patience-denied misses (section
+  4.4.1, Figure 5), and trickle-reintegrated annotations.
+
+Every stochastic draw comes from a named stream of the run's master
+seed, so each family is byte-identical across runs — pinned by golden
+timeline digests like every other scenario.
+"""
+
+from dataclasses import dataclass
+
+DAY = 86_400.0
+
+#: Commuter fleet client names: same musical register as the Figure 9
+#: fleet, distinct hosts (these clients commute, those don't).
+_COMMUTER_DESKTOPS = ["elgar", "faure", "handel", "haydn", "janacek",
+                      "liszt", "purcell", "rameau", "ravel", "satie",
+                      "smetana", "tallis", "telemann", "walton",
+                      "webern", "wolf"]
+_COMMUTER_LAPTOPS = ["aida", "carmen", "fidelio", "lakme", "louise",
+                     "manon", "mignon", "norma", "rusalka", "salome"]
+
+
+def fleet_study(family):
+    """The ``(config, observatory=, extras=, checkers=) -> reports``
+    runner for a fleet family; the fleetd executor and the spec
+    compiler both dispatch through here."""
+    if family == "commuter":
+        return run_commuter_study
+    if family == "figure9":
+        return _run_figure9
+    raise ValueError("unknown fleet family %r" % family)
+
+
+def testbed_runner(family):
+    """The spec-level runner for a non-script testbed family."""
+    runners = {"conflict-storm": run_conflict_storm,
+               "doc-archive": run_doc_archive}
+    try:
+        return runners[family]
+    except KeyError:
+        raise ValueError("unknown testbed family %r" % family) from None
+
+
+def _run_figure9(config, observatory=None, extras=None, checkers=None):
+    """The classic Figure 9 fleet study behind the family interface.
+
+    ``extras``/``checkers`` are accepted for interface parity but the
+    classic study takes no live checkers (fleetd's merged-invariant
+    sweep covers it); passing them changes nothing about the run.
+    """
+    from repro.bench.fleet import run_fleet_study
+    return run_fleet_study(config, observatory=observatory)
+
+
+def _attach_client_checkers(checkers, facades, sample=4):
+    """Attach one non-strict invariant checker per sampled client.
+
+    A checker per client wraps ``observatory.event`` once each, so the
+    sample is bounded: first/last of the list (plus up to ``sample``
+    total) keeps fleet-scale runs tractable while still watching both
+    populations.  No-op unless the caller asked for checkers and the
+    run is instrumented.
+    """
+    if checkers is None or not facades:
+        return []
+    from repro.analysis.invariants import InvariantChecker
+
+    picked = (facades if len(facades) <= sample
+              else facades[:sample - 1] + [facades[-1]])
+    attached = []
+    for facade in picked:
+        checker = InvariantChecker(strict=False)
+        checker.attach(facade)
+        checkers.append(checker)
+        attached.append(checker)
+    return attached
+
+
+# ----------------------------------------------------------------------
+# commuter
+
+
+@dataclass
+class CommuterConfig:
+    """A fleet living office hours (times in hours of the sim day)."""
+
+    desktops: int = 16
+    laptops: int = 12
+    days: float = 1.0
+    seed: int = 0
+    name_prefix: str = ""
+    # volumes (as in the Figure 9 fleet)
+    shared_volumes: int = 6
+    system_volumes: int = 8
+    extra_volumes: int = 12
+    files_per_volume: int = 55
+    file_size: int = 8_000
+    # diurnal shape
+    work_start: float = 9.0
+    work_end: float = 17.5
+    commute_minutes: float = 40.0
+    off_hours_activity: float = 0.15   # fraction of the in-hours rate
+    # in-hours activity rates (per client per day)
+    private_writes_per_day: float = 40.0
+    shared_writes_per_day: float = 5.0
+    reads_per_day: float = 80.0
+    roams_per_day: float = 10.0
+    evictions_per_day: float = 6.0
+    system_updates_per_day: float = 0.6
+    desktop_outages_per_day: float = 0.5
+    outage_minutes: float = 18.0
+    flaky_reconnect_prob: float = 0.5
+
+
+def run_commuter_study(config=None, observatory=None, extras=None,
+                       checkers=None):
+    """Simulate the commuting fleet; returns (desktops, laptops) reports.
+
+    Same shape as :func:`repro.bench.fleet.run_fleet_study` — per-client
+    Figure 9 validation reports — so fleetd shards, merges, and verifies
+    commuter runs with the machinery it already has.  ``extras``, when
+    a dict, receives family-level metrics (commutes taken, disconnected
+    seconds, reintegrated records).
+    """
+    from repro.bench.common import Testbed, populate_volume, warm_cache
+    from repro.bench.fleet import (
+        ClientReport,
+        _administrator,
+        _outage_process,
+        _volume_tree,
+    )
+    from repro.net import ETHERNET, Network
+    from repro.net.host import LAPTOP_1995, SERVER_1995
+    from repro.server import CodaServer
+    from repro.sim import RandomStreams, Simulator
+    from repro.venus import Venus, VenusConfig
+
+    config = config or CommuterConfig()
+    sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
+    streams = RandomStreams(config.seed)
+    net = Network(sim, rng=streams.stream("net"))
+    server = CodaServer(sim, net, "server", SERVER_1995)
+
+    shared = [populate_volume(server, "/coda/project/p%02d" % i,
+                              _volume_tree("/coda/project/p%02d" % i,
+                                           config, streams))
+              for i in range(config.shared_volumes)]
+    system = [populate_volume(server, "/coda/misc/s%02d" % i,
+                              _volume_tree("/coda/misc/s%02d" % i,
+                                           config, streams))
+              for i in range(config.system_volumes)]
+    extra = [populate_volume(server, "/coda/extra/e%02d" % i,
+                             _volume_tree("/coda/extra/e%02d" % i,
+                                          config, streams))
+             for i in range(config.extra_volumes)]
+
+    specs = ([(config.name_prefix + _COMMUTER_DESKTOPS[i % 16]
+               + ("" if i < 16 else str(i)),
+               "desktop") for i in range(config.desktops)]
+             + [(config.name_prefix + _COMMUTER_LAPTOPS[i % 10]
+                 + ("" if i < 10 else str(i)),
+                 "laptop") for i in range(config.laptops)])
+    clients = []
+    commute_stats = {}
+    facades = []
+    for name, kind in specs:
+        rng = streams.stream("client::" + name)
+        link = net.add_link(name, "server", profile=ETHERNET)
+        private = populate_volume(server, "/coda/usr/%s" % name,
+                                  _volume_tree("/coda/usr/%s" % name,
+                                               config, streams))
+        host = LAPTOP_1995 if kind == "laptop" else SERVER_1995
+        venus = Venus(sim, net, name, "server", host,
+                      config=VenusConfig(probe_interval=120.0,
+                                         hoard_walk_interval=600.0))
+        warm_cache(venus, server, private)
+        for volume in rng.sample(shared, min(3, len(shared))):
+            warm_cache(venus, server, volume)
+        for volume in rng.sample(system, min(6, len(system))):
+            warm_cache(venus, server, volume)
+        clients.append((name, kind, venus))
+        sim.process(_diurnal_life(sim, config, venus, private, shared,
+                                  extra, rng, kind),
+                    name="life-%s" % name)
+        if kind == "laptop":
+            stats = commute_stats.setdefault(
+                name, {"commutes": 0, "disconnected_seconds": 0.0})
+            sim.process(_commute_process(
+                sim, config, venus, link,
+                streams.stream("commute::" + name), stats),
+                name="commute-%s" % name)
+        else:
+            sim.process(_outage_process(sim, config, venus, link,
+                                        streams.stream("outage::" + name),
+                                        kind),
+                        name="outage-%s" % name)
+        if checkers is not None and observatory is not None:
+            facades.append(Testbed(sim=sim, net=net, link=link,
+                                   server=server, venus=venus,
+                                   obs=observatory, streams=streams))
+
+    sim.process(_administrator(sim, config, server, system + extra,
+                               streams.stream("admin")), name="admin")
+    attached = _attach_client_checkers(checkers, facades)
+    sim.run(until=config.days * DAY)
+    for checker in attached:
+        checker.check_all()
+
+    desktops, laptops = [], []
+    for name, kind, venus in clients:
+        stats = venus.validator.stats
+        report = ClientReport(
+            name=name, kind=kind,
+            missing_pct=100.0 * stats.missing_stamp_fraction,
+            attempts=stats.attempts,
+            success_pct=100.0 * stats.success_fraction,
+            objs_per_success=stats.objects_per_success)
+        (desktops if kind == "desktop" else laptops).append(report)
+    if isinstance(extras, dict):
+        extras["commutes"] = sum(
+            stats["commutes"] for stats in commute_stats.values())
+        extras["disconnected_seconds"] = round(sum(
+            stats["disconnected_seconds"]
+            for stats in commute_stats.values()), 1)
+        extras["cml_reintegrated"] = sum(
+            venus.cml.stats.reintegrated_records
+            for _name, _kind, venus in clients)
+    return desktops, laptops
+
+
+def _hour_of_day(now):
+    return (now % DAY) / 3600.0
+
+
+def _diurnal_life(sim, config, venus, private, shared, extra, rng, kind):
+    """The Figure 9 client life, gated by office hours.
+
+    Activity draws gaps at the in-hours rate; a draw landing outside
+    work hours is stretched by ``1 / off_hours_activity``, so evenings
+    and nights see a trickle of activity instead of none (people do
+    open their laptops at home — that is the point of the family).
+    """
+    from repro.bench.fleet import _evict_volume, _read_something
+
+    yield sim.timeout(rng.uniform(0, 600))
+    yield from venus.connect()
+    mean_gap = DAY / (config.private_writes_per_day
+                      + config.shared_writes_per_day
+                      + config.reads_per_day
+                      + config.roams_per_day
+                      + config.evictions_per_day)
+    weights = [config.reads_per_day, config.private_writes_per_day,
+               config.shared_writes_per_day, config.roams_per_day,
+               config.evictions_per_day]
+    total_weight = sum(weights)
+    counter = 0
+    while True:
+        gap = rng.expovariate(1.0 / mean_gap)
+        hour = _hour_of_day(sim.now)
+        if not config.work_start <= hour < config.work_end:
+            gap /= max(config.off_hours_activity, 1e-6)
+        yield sim.timeout(gap)
+        counter += 1
+        pick = rng.random() * total_weight
+        try:
+            if pick < weights[0]:
+                yield from _read_something(venus, private, shared, rng)
+            elif pick < weights[0] + weights[1]:
+                path = "/coda/usr/%s/data/w%d" % (venus.node, counter % 60)
+                yield from venus.write_file(
+                    path, rng.randrange(2_000, 20_000))
+            elif pick < weights[0] + weights[1] + weights[2]:
+                volume = rng.choice(shared)
+                path = "/coda/project/p%02d/data/%s-%d" % (
+                    shared.index(volume), venus.node, counter % 40)
+                yield from venus.write_file(
+                    path, rng.randrange(2_000, 20_000))
+            elif pick < sum(weights[:4]):
+                index = rng.randrange(len(extra))
+                yield from venus.read_file(
+                    "/coda/extra/e%02d/data/f%03d"
+                    % (index, rng.randrange(config.files_per_volume)))
+            else:
+                _evict_volume(venus, rng)
+        except Exception:
+            # Misses and races with commutes are part of life.
+            pass
+
+
+def _commute_process(sim, config, venus, link, rng, stats):
+    """Twice a day the laptop leaves the network: commute in, commute
+    out.  Departure times jitter around the office-hour boundaries, and
+    the laptop reconnects (triggering validation and any queued
+    reintegration) when it arrives."""
+    commute = config.commute_minutes * 60.0
+    day = 0
+    while True:
+        for edge_hour in (config.work_start, config.work_end):
+            depart = (day * DAY + edge_hour * 3600.0 - commute
+                      + rng.uniform(-600.0, 600.0))
+            if depart <= sim.now:
+                continue
+            yield sim.timeout(depart - sim.now)
+            link.set_up(False)
+            venus.handle_disconnection()
+            duration = commute * rng.uniform(0.8, 1.3)
+            yield sim.timeout(duration)
+            link.set_up(True)
+            yield from venus.connect()
+            stats["commutes"] += 1
+            stats["disconnected_seconds"] += duration
+        day += 1
+        resume = day * DAY + config.work_start * 3600.0 - commute - 1_200.0
+        if resume > sim.now:
+            yield sim.timeout(resume - sim.now)
+
+
+# ----------------------------------------------------------------------
+# conflict-storm
+
+
+@dataclass
+class ConflictStormConfig:
+    """Many writers, one volume, overlapping disconnected writes."""
+
+    writers: int = 6
+    files: int = 8
+    file_size: int = 12_000
+    rounds: int = 2
+    round_minutes: float = 30.0        # disconnected window per round
+    writes_per_round: int = 3
+    keep_mine_every: int = 2           # every k-th conflict keeps "mine"
+    drain_seconds: float = 240.0       # reconnection settle time
+    seed: int = 0
+
+
+_STORM_INT_FIELDS = ("writers", "files", "file_size", "rounds",
+                     "writes_per_round", "keep_mine_every")
+
+
+def _storm_config(spec):
+    params = spec.params_dict()
+    for name in _STORM_INT_FIELDS:
+        if name in params:
+            params[name] = int(params[name])
+    return ConflictStormConfig(**params)
+
+
+def run_conflict_storm(spec, master, observatory=None, schedule_log=None,
+                       checker=None, checkers=None):
+    """Run the conflict-storm family; returns (testbed, summary).
+
+    The returned testbed is writer 0's facade (sim, link, venus) so
+    callers can fingerprint a representative client; the summary
+    carries the storm-wide conflict accounting.
+    """
+    from repro.bench.common import Testbed, populate_volume, warm_cache
+    from repro.net import WAVELAN, Network
+    from repro.net.host import LAPTOP_1995, SERVER_1995
+    from repro.server import CodaServer
+    from repro.sim import RandomStreams, Simulator
+    from repro.spec.compile import probe_schedule
+    from repro.venus import Venus, VenusConfig
+
+    config = _storm_config(spec)
+    config.seed = master
+    sim = Simulator()
+    if observatory is not None:
+        observatory.install(sim)
+    if schedule_log is not None:
+        probe_schedule(sim, schedule_log)
+    streams = RandomStreams(config.seed)
+    sim.rand = streams
+    net = Network(sim, rng=streams.stream("net"))
+    server = CodaServer(sim, net, "server", SERVER_1995)
+
+    mount = "/coda/project/storm"
+    tree = {mount + "/doc": ("dir", 0)}
+    for index in range(config.files):
+        tree["%s/doc/f%02d" % (mount, index)] = ("file", config.file_size)
+    volume = populate_volume(server, mount, tree)
+
+    writers = []
+    facades = []
+    for index in range(config.writers):
+        name = "writer%02d" % index
+        link = net.add_link(name, "server", profile=WAVELAN)
+        venus = Venus(sim, net, name, "server", LAPTOP_1995,
+                      config=VenusConfig(aging_window=30.0,
+                                         daemon_period=5.0,
+                                         probe_interval=30.0))
+        warm_cache(venus, server, volume)
+        writers.append((name, venus, link))
+        facades.append(Testbed(sim=sim, net=net, link=link, server=server,
+                               venus=venus, obs=observatory,
+                               streams=streams))
+
+    resolutions = {"mine": 0, "theirs": 0}
+    for index, (name, venus, link) in enumerate(writers):
+        sim.process(_storm_writer(sim, config, index, venus, link, mount,
+                                  streams.stream("storm::" + name),
+                                  resolutions),
+                    name="storm-%s" % name)
+
+    attached = []
+    if checker is not None:
+        checker.attach(facades[0])
+        attached = _attach_client_checkers(
+            checkers, facades[1:], sample=config.writers)
+    cycle = (config.round_minutes * 60.0 + config.drain_seconds + 120.0)
+    sim.run(until=config.rounds * cycle + 600.0)
+    for active in attached:
+        active.check_all()
+
+    conflicts = []
+    for _name, venus, _link in writers:
+        conflicts.extend(venus.conflicts.all())
+    summary = {
+        "end_time": sim.now,
+        "writers": config.writers,
+        "rounds": config.rounds,
+        "conflicts_detected": len(conflicts),
+        "conflicts_resolved_mine": resolutions["mine"],
+        "conflicts_resolved_theirs": resolutions["theirs"],
+        "conflicts_pending": sum(
+            1 for conflict in conflicts if conflict.resolved is None),
+        "cml_reintegrated": sum(
+            venus.cml.stats.reintegrated_records
+            for _name, venus, _link in writers),
+        "reintegration_duplicates": server.reintegrator.duplicates_skipped,
+        "server_versions": sum(
+            vnode.version for vnode in volume.vnodes.values()),
+    }
+    return facades[0], summary
+
+
+def _storm_writer(sim, config, index, venus, link, mount, rng,
+                  resolutions):
+    """One writer's storm: disconnect, collide, reconnect, repair."""
+    from repro.fs.content import SyntheticContent
+
+    yield sim.timeout(10.0 * index + rng.uniform(0.0, 20.0))
+    yield from venus.connect()
+    for round_no in range(config.rounds):
+        yield sim.timeout(rng.uniform(10.0, 60.0))
+        link.set_up(False)
+        venus.handle_disconnection()
+        for write_no in range(config.writes_per_round):
+            target = rng.randrange(config.files)
+            path = "%s/doc/f%02d" % (mount, target)
+            content = SyntheticContent(
+                config.file_size + 100 * index + write_no,
+                tag=("storm", index, round_no, write_no))
+            try:
+                yield from venus.write_file(path, content)
+            except Exception:
+                pass
+            yield sim.timeout(rng.uniform(5.0, 30.0))
+        remaining = (config.round_minutes * 60.0
+                     * rng.uniform(0.8, 1.2))
+        yield sim.timeout(remaining)
+        link.set_up(True)
+        yield from venus.connect()
+        yield sim.timeout(config.drain_seconds + rng.uniform(0.0, 30.0))
+        for conflict in venus.list_conflicts():
+            if conflict.resolved is not None:
+                continue
+            keep = ("mine" if conflict.ident % config.keep_mine_every == 0
+                    else "theirs")
+            try:
+                yield from venus.repair(conflict, keep)
+            except Exception:
+                continue
+            resolutions[keep] += 1
+
+
+# ----------------------------------------------------------------------
+# doc-archive
+
+
+@dataclass
+class DocArchiveConfig:
+    """A document-archiving client on a link that turns weak."""
+
+    containers: int = 6
+    docs_per_container: int = 8
+    doc_size: int = 24_000
+    hoarded_containers: int = 2
+    hoard_priority: int = 600
+    reads: int = 60
+    think_seconds: float = 40.0
+    annotate_every: int = 5            # every k-th read writes a note
+    note_size: int = 2_000
+    locality: float = 0.7              # fraction of reads in hoarded set
+    commute_at: float = 600.0          # strong office phase ends here
+    weak_bps: float = 9_600.0          # modem-class bandwidth after it
+    weak_minutes: float = 90.0
+    seed: int = 0
+
+
+def _archive_config(spec):
+    params = spec.params_dict()
+    config = DocArchiveConfig(**params)
+    config.containers = int(config.containers)
+    config.docs_per_container = int(config.docs_per_container)
+    config.doc_size = int(config.doc_size)
+    config.hoarded_containers = min(int(config.hoarded_containers),
+                                    config.containers)
+    config.hoard_priority = int(config.hoard_priority)
+    config.reads = int(config.reads)
+    config.annotate_every = max(1, int(config.annotate_every))
+    config.note_size = int(config.note_size)
+    return config
+
+
+def run_doc_archive(spec, master, observatory=None, schedule_log=None,
+                    checker=None, checkers=None):
+    """Run the doc-archive family; returns (testbed, summary)."""
+    from repro.bench.common import make_testbed, populate_volume
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, LinkDegrade
+    from repro.net import WAVELAN
+    from repro.venus import VenusConfig
+
+    config = _archive_config(spec)
+    config.seed = master
+    mount = "/coda/archive"
+    venus_config = VenusConfig(aging_window=60.0, daemon_period=5.0,
+                               probe_interval=30.0,
+                               hoard_walk_interval=600.0)
+    testbed = make_testbed(WAVELAN, venus_config=venus_config,
+                           seed=master, observatory=observatory)
+    sim = testbed.sim
+    if schedule_log is not None:
+        from repro.spec.compile import probe_schedule
+        probe_schedule(sim, schedule_log)
+    if checker is not None:
+        checker.attach(testbed)
+
+    # Container tree: doc sizes drawn from a named stream so the whole
+    # archive — including which documents are small enough to fetch
+    # transparently over the weak link — is a pure function of the
+    # master seed.
+    tree_rng = testbed.streams.stream("doc-archive::tree")
+    tree = {}
+    for c_index in range(config.containers):
+        container = "%s/c%02d" % (mount, c_index)
+        tree[container] = ("dir", 0)
+        for d_index in range(config.docs_per_container):
+            if tree_rng.random() < 0.3:
+                size = tree_rng.randrange(600, 2_400)
+            else:
+                size = max(2_000, int(tree_rng.expovariate(
+                    1.0 / config.doc_size)))
+            tree["%s/d%02d" % (container, d_index)] = ("file", size)
+    populate_volume(testbed.server, mount, tree)
+    # No cache warming: hoard walks do the prefetching, that is the
+    # family's point.  The client still needs the mount map.
+    testbed.venus.learn_mounts(testbed.server.registry)
+
+    plan = FaultPlan([LinkDegrade(at=config.commute_at,
+                                  duration=config.weak_minutes * 60.0,
+                                  bandwidth_bps=config.weak_bps)])
+    testbed.faults = FaultInjector(testbed, plan)
+    testbed.faults.start()
+
+    session_rng = testbed.streams.stream("doc-archive::session")
+
+    def session():
+        venus = testbed.venus
+        yield from venus.connect()
+        for c_index in range(config.hoarded_containers):
+            venus.hoard("%s/c%02d" % (mount, c_index),
+                        config.hoard_priority, children=True)
+        yield from venus.hoard_walk()
+        notes = 0
+        for read_no in range(config.reads):
+            yield sim.timeout(session_rng.expovariate(
+                1.0 / config.think_seconds))
+            if (session_rng.random() < config.locality
+                    and config.hoarded_containers):
+                c_index = session_rng.randrange(config.hoarded_containers)
+            else:
+                c_index = session_rng.randrange(config.containers)
+            d_index = session_rng.randrange(config.docs_per_container)
+            path = "%s/c%02d/d%02d" % (mount, c_index, d_index)
+            try:
+                yield from venus.read_file(path)
+            except Exception:
+                continue
+            if (read_no + 1) % config.annotate_every == 0:
+                notes += 1
+                from repro.fs.content import SyntheticContent
+                yield from venus.write_file(
+                    "%s/c%02d/note%03d" % (mount, c_index, notes),
+                    SyntheticContent(config.note_size,
+                                     tag=("note", notes)))
+        yield sim.timeout(600.0)
+
+    sim.run(sim.process(session()))
+    if checker is not None:
+        checker.check_all()
+
+    venus = testbed.venus
+    stats = venus.stats
+    summary = {
+        "end_time": sim.now,
+        "containers": config.containers,
+        "hoarded_containers": config.hoarded_containers,
+        "reads": config.reads,
+        "fetches": stats.fetches,
+        "fetch_bytes": stats.fetch_bytes,
+        "hoard_walks": stats.hoard_walks,
+        "misses_transparent": stats.misses_transparent,
+        "misses_denied": stats.misses_denied,
+        "misses_disconnected": stats.misses_disconnected,
+        "miss_log_records": venus.misses.total_recorded,
+        "cml_reintegrated": venus.cml.stats.reintegrated_records,
+        "bytes_shipped": venus.trickle.stats.bytes_shipped,
+    }
+    return testbed, summary

@@ -1,0 +1,68 @@
+"""Pinnable spec-family scenarios: golden runs for the digest fixtures.
+
+The golden machinery (:mod:`repro.analysis.golden`) pins obs timelines
+of ``mod:<module>:<function>`` specs across checkouts.  These three
+functions expose reduced-scale runs of the new spec families —
+``commuter``, ``conflict-storm``, ``doc-archive`` — built through the
+identical :func:`~repro.spec.compile.run_spec` path the CLI uses.
+Pinning them means no change can silently alter what the families
+simulate: each family's schedule is a committed fixture, and
+``repro check-determinism`` can probe the same entry points for
+hidden nondeterminism.
+
+The reduced scales are deliberately independent of ``REPRO_FAST`` and
+of the catalogue's shipped parameters: fixtures must hash the same
+simulation everywhere.  ``commuter`` runs 18 simulated hours so both
+commute edges (morning and evening) are inside the pinned window.
+"""
+
+from dataclasses import replace
+
+from repro.spec.catalog import get
+from repro.spec.compile import run_spec
+
+#: Simulated duration of the pinned commuter run, in days.  0.75 days
+#: covers 0:00-18:00: the 9:00 work-start commute, the office phase,
+#: and the 17:30 work-end commute all land inside the window.
+COMMUTER_GOLDEN_DAYS = 0.75
+
+
+def commuter_golden(observatory=None):
+    """``mod:repro.spec.golden:commuter_golden`` for repro golden.
+
+    The shipped commuter spec shrunk to 2 desktops + 2 laptops over
+    0.75 days — small enough for fixtures and CI determinism probes,
+    big enough to exercise the diurnal life, both commute edges, and
+    the reintegration-on-reconnect path.
+    """
+    spec = get("commuter")
+    spec = replace(spec, clients=replace(spec.clients, count=4,
+                                         desktops=2, laptops=2))
+    result = run_spec(spec, observatory=observatory,
+                      days=COMMUTER_GOLDEN_DAYS)
+    return result.summary
+
+
+def conflict_storm_golden(observatory=None):
+    """``mod:repro.spec.golden:conflict_storm_golden`` for repro golden.
+
+    The shipped conflict-storm spec at 3 writers and a single round:
+    still enough concurrent disconnected writers to detect and repair
+    conflicts, at fixture-friendly cost.
+    """
+    spec = get("conflict-storm").with_params(writers=3, rounds=1)
+    return run_spec(spec, observatory=observatory).summary
+
+
+def doc_archive_golden(observatory=None):
+    """``mod:repro.spec.golden:doc_archive_golden`` for repro golden.
+
+    The shipped doc-archive spec at 3 containers / 16 reads with one
+    hoarded container and an early commute (the link degrades at
+    t=200 s): covers hoarding, the hoard walk, the weak-link commute,
+    and the patience-gated transparent-miss path.
+    """
+    spec = get("doc-archive").with_params(containers=3, reads=16,
+                                          hoarded_containers=1,
+                                          commute_at=200.0)
+    return run_spec(spec, observatory=observatory).summary

@@ -1,0 +1,56 @@
+"""The one sanctioned scenario-seed helper.
+
+``obs``, ``faults``, and ``perf`` each grew a near-identical
+``scenario_seed`` that folds a user-facing ``--seed`` into a per-
+scenario master seed via :func:`repro.sim.rand.derive_rng`.  The seed
+*strings* differ only in the kind prefix (``"obs"``, ``"faults"``,
+``"perf"``) and in two conventions that must stay byte-identical so no
+golden digest moves:
+
+* obs/faults treat ``seed=None`` as "the historical default": master
+  seed ``0``, skipping derivation entirely;
+* perf always derives (there is no ``None`` case) and keeps 32 bits
+  because :class:`~repro.bench.fleet.FleetConfig` seeds were pinned
+  that way.
+
+Spec-native scenarios use kind ``"spec"`` and the default 63 bits.
+"""
+
+from repro.sim.rand import derive_rng
+
+#: Seed-kind prefixes with pinned golden digests; new families use
+#: "spec".  Kept closed so a typo cannot silently fork a seed universe.
+SEED_KINDS = ("obs", "faults", "perf", "spec")
+
+
+def scenario_seed(kind, name, seed, bits=63):
+    """Master seed for scenario ``name`` of ``kind`` given CLI ``seed``.
+
+    ``None`` means "the historical default run" and maps to master seed
+    0 — the seed the golden digests were pinned under.  Any integer is
+    folded through ``derive_rng(kind, name, seed)`` so different
+    scenarios never share a master seed even for equal CLI seeds.
+    """
+    if kind not in SEED_KINDS:
+        raise ValueError("unknown seed kind %r (choose from %s)"
+                         % (kind, ", ".join(SEED_KINDS)))
+    if seed is None:
+        return 0
+    return derive_rng(kind, name, seed).getrandbits(bits)
+
+
+def master_seed(kind, name, seed):
+    """Like :func:`scenario_seed` but with each kind's legacy defaults.
+
+    This is what the spec compiler calls.  ``perf``-kind specs keep
+    their pinned 32-bit ``FleetConfig`` seeds and always derive (the
+    perf CLI default was ``seed=0``, derived, not a literal 0 master);
+    ``spec``-kind scenarios likewise always derive, at 63 bits.  Only
+    the ``obs``/``faults`` kinds keep the ``None`` → master-0 shortcut
+    their golden digests were pinned under.
+    """
+    if kind == "perf":
+        return scenario_seed(kind, name, 0 if seed is None else seed, bits=32)
+    if kind == "spec":
+        return scenario_seed(kind, name, 0 if seed is None else seed)
+    return scenario_seed(kind, name, seed)

@@ -1,0 +1,141 @@
+"""``repro spec``: list/show/validate/run, exit codes, error listings."""
+
+import json
+
+import pytest
+
+from repro.spec import catalog
+from repro.spec.cli import _fast_variant, main
+from repro.spec.model import ScenarioSpec
+
+
+def test_list_names_every_shipped_spec(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in catalog.CATALOG:
+        assert name in out
+
+
+def test_show_emits_the_canonical_document(capsys):
+    assert main(["show", "trickle"]) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out) == catalog.get("trickle").to_dict()
+
+
+def test_show_unknown_name_lists_choices(capsys):
+    assert main(["show", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown spec" in err
+    assert "trickle" in err and "commuter" in err
+
+
+def test_validate_all_passes_on_the_shipped_catalogue(capsys):
+    assert main(["validate", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "%d spec(s) valid" % len(catalog.CATALOG) in out
+
+
+def test_validate_named_specs(capsys):
+    assert main(["validate", "trickle", "commuter"]) == 0
+    out = capsys.readouterr().out
+    assert "trickle" in out and "commuter" in out
+
+
+def test_validate_requires_names_or_all(capsys):
+    assert main(["validate"]) == 2
+    assert "--all" in capsys.readouterr().err
+
+
+def test_validate_unknown_name_lists_choices(capsys):
+    assert main(["validate", "nope"]) == 2
+    assert "unknown spec" in capsys.readouterr().err
+
+
+def test_validate_all_fails_listing_per_spec_errors(capsys, monkeypatch):
+    broken = ScenarioSpec(name="Broken Name", kind="testbed",
+                          family="script")
+    monkeypatch.setitem(catalog.CATALOG, "broken", broken)
+    assert main(["validate", "--all"]) == 1
+    out = capsys.readouterr().out
+    assert "INVALID" in out
+    assert "name: must match" in out
+    assert "workload.script" in out
+    assert "1 of %d spec(s) invalid" % len(catalog.CATALOG) in out
+
+
+def test_run_prints_the_summary(capsys):
+    assert main(["run", "outage"]) == 0
+    out = capsys.readouterr().out
+    assert "cml_reintegrated" in out
+    assert "Observability summary" in out
+
+
+def test_run_unknown_name_lists_choices(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown spec" in capsys.readouterr().err
+
+
+def test_run_check_invariants_reports_checks(capsys):
+    assert main(["run", "trickle", "--check-invariants"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants:" in out
+    assert "0 violation(s)" in out
+
+
+def test_run_json_writes_the_report(capsys, tmp_path):
+    out_path = tmp_path / "spec.json"
+    assert main(["run", "trickle", "--json", "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["spec"] == catalog.get("trickle").to_dict()
+    assert "cml_reintegrated" in payload["summary"]
+
+
+def test_run_fleet_spec_with_days_override(capsys):
+    assert main(["run", "fleet-golden", "--days", "0.125"]) == 0
+    out = capsys.readouterr().out
+    assert "clients" in out
+
+
+def test_fast_variant_scales_fleet_days(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    spec, days = _fast_variant(catalog.get("fleet-golden"), None)
+    assert days == catalog.get("fleet-golden").duration / 8.0
+    spec, days = _fast_variant(catalog.get("fleet-golden"), 0.5)
+    assert days == 0.5           # explicit --days wins
+
+
+def test_fast_variant_reshapes_the_commuter_fleet(monkeypatch):
+    """A days/8 window would miss both commute edges; the commuter's
+    fast shape shrinks the fleet and keeps the day long enough to
+    cover the morning and evening commutes."""
+    monkeypatch.setenv("REPRO_FAST", "1")
+    spec, days = _fast_variant(catalog.get("commuter"), None)
+    shape = catalog.FAST_FLEET["commuter"]
+    assert (spec.clients.desktops, spec.clients.laptops) \
+        == (shape["desktops"], shape["laptops"])
+    assert days == shape["days"]
+    work_end = spec.params_dict()["work_end"]
+    assert days * 24.0 > work_end    # the evening commute happens
+    spec, days = _fast_variant(catalog.get("commuter"), 0.25)
+    assert days == 0.25          # explicit --days wins
+
+
+def test_fast_variant_applies_family_params(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    spec, days = _fast_variant(catalog.get("conflict-storm"), None)
+    assert spec.params_dict()["writers"] \
+        == catalog.FAST_PARAMS["conflict-storm"]["writers"]
+    assert days is None
+
+
+def test_fast_variant_is_identity_without_the_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST", raising=False)
+    spec, days = _fast_variant(catalog.get("conflict-storm"), None)
+    assert spec == catalog.get("conflict-storm")
+
+
+def test_repro_cli_delegates_to_spec(capsys):
+    from repro.cli import main as repro_main
+    with pytest.raises(SystemExit) as excinfo:
+        repro_main(["spec", "validate", "--all"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,218 @@
+"""The scenario model: strict validation and lossless round trips.
+
+Every shipped spec must survive ``spec -> dict -> JSON -> spec`` with
+equality, and hypothesis-generated corruptions of valid documents must
+all be rejected with a :class:`~repro.spec.model.SpecError` — never
+accepted, never crash with an unrelated exception.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spec.catalog import CATALOG, get, shipped
+from repro.spec.model import (
+    FAMILY_PARAMS,
+    OPS,
+    OpStep,
+    ScenarioSpec,
+    SpecError,
+)
+
+NAMES = sorted(CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_dict_round_trip(name):
+    spec = get(name)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_json_round_trip(name):
+    spec = get(name)
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert hash(again) == hash(spec)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_to_dict_is_plain_json(name):
+    """The document form must be pure JSON types, canonically dumpable."""
+    text = json.dumps(get(name).to_dict(), sort_keys=True)
+    assert json.loads(text) == get(name).to_dict()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_shipped_specs_validate_clean(name):
+    assert get(name).validate() == []
+
+
+def test_catalog_is_presentation_ordered_and_closed():
+    assert [spec.name for spec in shipped()] == list(CATALOG)
+    with pytest.raises(ValueError, match="unknown spec"):
+        get("no-such-spec")
+
+
+def test_with_params_merges():
+    spec = get("doc-archive")
+    tuned = spec.with_params(reads=5)
+    assert tuned.params_dict()["reads"] == 5
+    assert spec.params_dict()["reads"] == 60
+    assert tuned.params_dict()["containers"] \
+        == spec.params_dict()["containers"]
+
+
+def test_spec_error_carries_every_problem():
+    spec = ScenarioSpec(name="Bad Name", kind="testbed", family="script")
+    errors = spec.validate()
+    assert len(errors) >= 2          # bad name AND empty script
+    with pytest.raises(SpecError) as excinfo:
+        spec.check()
+    assert excinfo.value.errors == tuple(errors)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: corrupted documents are rejected, not absorbed
+
+
+def _corrupt_unknown_top_key(doc, token):
+    doc["x_" + token] = 1
+
+
+def _corrupt_name(doc, token):
+    doc["name"] = "Bad Name " + token
+
+
+def _corrupt_kind(doc, token):
+    doc["kind"] = "kind-" + token
+
+
+def _corrupt_family(doc, token):
+    doc["family"] = "family-" + token
+
+
+def _corrupt_seed_kind(doc, token):
+    doc["seed_kind"] = "seeds-" + token
+
+
+def _corrupt_shards_on_testbed(doc, token):
+    doc["kind"] = "testbed"
+    doc["shards"] = 4
+
+
+def _corrupt_shards_too_small(doc, token):
+    if doc["kind"] == "fleet":
+        doc["shards"] = 1
+    else:
+        doc["shards"] = 0
+
+
+def _corrupt_profile(doc, token):
+    doc.setdefault("network", {})["profile"] = "Carrier-" + token
+
+
+def _corrupt_loss_rate(doc, token):
+    doc.setdefault("network", {"profile": "Modem"})["loss_rate"] = 1.5
+
+
+def _corrupt_venus_field(doc, token):
+    doc["venus"] = {"no_such_knob_" + token: 1.0}
+    doc["kind"] = "testbed"
+    if doc.get("family") not in ("script", "conflict-storm",
+                                 "doc-archive"):
+        doc["family"] = "conflict-storm"
+    doc.pop("shards", None)
+    doc.pop("duration", None)
+    doc.pop("clients", None)
+    doc.pop("workload", None)
+    doc.pop("params", None)
+
+
+def _corrupt_script_op(doc, token):
+    doc["workload"] = {"script": [{"op": "op-" + token}]}
+
+
+def _corrupt_op_missing_required(doc, token):
+    doc["workload"] = {"script": [{"op": "write", "path": "/coda/x"}]}
+
+
+def _corrupt_negative_sleep(doc, token):
+    doc["workload"] = {"script": [{"op": "sleep", "seconds": -1.0}]}
+
+
+def _corrupt_param(doc, token):
+    doc["params"] = {"param_" + token: 1}
+
+
+def _corrupt_mix_on_testbed(doc, token):
+    doc["kind"] = "testbed"
+    doc["workload"] = {"mix": {"reads_per_day": 10.0}}
+
+
+CORRUPTIONS = [
+    _corrupt_unknown_top_key,
+    _corrupt_name,
+    _corrupt_kind,
+    _corrupt_family,
+    _corrupt_seed_kind,
+    _corrupt_shards_on_testbed,
+    _corrupt_shards_too_small,
+    _corrupt_profile,
+    _corrupt_loss_rate,
+    _corrupt_venus_field,
+    _corrupt_script_op,
+    _corrupt_op_missing_required,
+    _corrupt_negative_sleep,
+    _corrupt_param,
+    _corrupt_mix_on_testbed,
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(name=st.sampled_from(NAMES),
+       corrupt=st.sampled_from(CORRUPTIONS),
+       token=st.text(alphabet="abcdefghij", min_size=1, max_size=8))
+def test_corrupted_documents_are_rejected(name, corrupt, token):
+    doc = get(name).to_dict()
+    corrupt(doc, token)
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict(doc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(junk=st.one_of(
+    st.none(), st.integers(), st.text(max_size=8),
+    st.lists(st.integers(), max_size=3)))
+def test_non_mapping_documents_are_rejected(junk):
+    with pytest.raises(SpecError):
+        ScenarioSpec.from_dict(junk)
+
+
+def test_invalid_json_is_a_spec_error():
+    with pytest.raises(SpecError, match="not valid JSON"):
+        ScenarioSpec.from_json("{nope")
+
+
+@settings(max_examples=60, deadline=None)
+@given(op=st.sampled_from(sorted(OPS)),
+       extra=st.sampled_from(["size", "seconds", "priority", "path"]))
+def test_ops_reject_fields_outside_their_signature(op, extra):
+    required, optional = OPS[op]
+    if extra in required or extra in optional:
+        return
+    values = {"size": 10, "seconds": 1.0, "priority": 5, "path": "/x"}
+    fields = {name: values[name] for name in required}
+    fields[extra] = values[extra]
+    step = OpStep(op=op, **fields)
+    assert any("does not take" in error for error in step.validate("op"))
+
+
+def test_family_params_cover_every_family():
+    from repro.spec.model import FLEET_FAMILIES, TESTBED_FAMILIES
+    assert set(FAMILY_PARAMS) == set(TESTBED_FAMILIES) | set(FLEET_FAMILIES)

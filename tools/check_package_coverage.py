@@ -28,6 +28,7 @@ FLOORS = {
     "rpc2": 90.0,
     "server": 85.0,
     "sim": 90.0,
+    "spec": 90.0,
     "trace": 85.0,
     "venus": 85.0,
 }
