@@ -139,12 +139,40 @@ def check_golden(path=DEFAULT_FIXTURE, scenarios=None):
     return mismatches
 
 
+def diff_digests(old, new):
+    """Human-readable lines describing ``old`` -> ``new`` digest changes.
+
+    ``old``/``new`` are digest tables ({spec: {"sha256", "events"}});
+    returns one line per changed, added, or removed scenario so a
+    ``--regen`` states exactly which pins it moved — the reviewer of a
+    re-pin should never have to diff the fixture JSON by hand.
+    """
+    lines = []
+    for spec in sorted(set(old) | set(new)):
+        was, fresh = old.get(spec), new.get(spec)
+        if was == fresh:
+            continue
+        if was is None:
+            lines.append("added   %-44s %s… (%d events)"
+                         % (spec, fresh["sha256"][:16], fresh["events"]))
+        elif fresh is None:
+            lines.append("removed %-44s was %s… (%d events)"
+                         % (spec, was["sha256"][:16], was["events"]))
+        else:
+            lines.append("changed %-44s %s… -> %s… (%d -> %d events)"
+                         % (spec, was["sha256"][:16],
+                            fresh["sha256"][:16],
+                            was["events"], fresh["events"]))
+    return lines
+
+
 def main(argv=None):
     """``repro golden`` entry point.
 
     ``--check`` (the default) exits 0 when every live digest matches
     the fixture, 1 otherwise; ``--regen`` rewrites the fixture from
-    the current tree and exits 0.
+    the current tree, prints a digest diff against the previous
+    fixture (old -> new, by scenario), and exits 0.
     """
     import argparse
     parser = argparse.ArgumentParser(
@@ -163,11 +191,22 @@ def main(argv=None):
                              "(repeatable; default: all pinned)")
     args = parser.parse_args(argv)
     if args.regen:
+        try:
+            previous = load_fixture(args.fixture)["digests"]
+        except (FileNotFoundError, ValueError):
+            previous = {}
         fixture = write_fixture(args.fixture,
                                 args.scenario or GOLDEN_SCENARIOS)
         for spec, entry in sorted(fixture["digests"].items()):
             print("pinned %-44s %s… (%d events)"
                   % (spec, entry["sha256"][:16], entry["events"]))
+        changes = diff_digests(previous, fixture["digests"])
+        if changes:
+            print("%d pin(s) moved:" % len(changes))
+            for line in changes:
+                print("  " + line)
+        else:
+            print("no pins moved")
         print("wrote %s" % args.fixture)
         return 0
     try:

@@ -1,0 +1,103 @@
+"""Memory-envelope harness for checkpointed fleet runs.
+
+``ru_maxrss`` is a *process-lifetime* high-water mark, so measuring
+the streamed and resident paths inside one interpreter would let
+whichever ran first set the bar for both.  Each measurement therefore
+runs in a fresh subprocess (``python -m repro.ckpt.bench`` with a JSON
+spec on stdin, JSON result on stdout) whose peak RSS reflects exactly
+one configuration.  The measured run writes its checkpoint into a
+temporary directory that is discarded afterwards — RSS is a property
+of the machine, never of the store, and must not leak into files that
+the byte-identity proofs compare.
+
+:data:`BENCH_DAYS`/:data:`BENCH_DAY_SECONDS` pin the long-horizon
+workload the ``ckpt-fleet-256`` perf scenarios use: four day units of
+an eighth-day each, matching the REPRO_FAST convention, so the
+streamed and resident rows in ``BENCH_perf.json`` differ only in
+buffering strategy.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: Long-horizon workload for the BENCH_perf scenarios: >= 4 sim-days.
+BENCH_DAYS = 4
+BENCH_DAY_SECONDS = 86_400.0 / 8.0
+
+
+def measure(scenario, days, day_seconds, stream, out, seed=0):
+    """Run a checkpointed fleet in *this* process and report peak RSS.
+
+    Returns a JSON-safe detail dict.  Meaningful only from a process
+    that has done no other heavy work (see module docstring) — use
+    :func:`measure_subprocess` from long-lived callers.
+    """
+    import resource
+
+    from repro.ckpt.driver import CkptOptions
+    from repro.ckpt.runner import run_checkpointed
+
+    options = CkptOptions(day_seconds=float(day_seconds))
+    report = run_checkpointed(scenario, seed=seed, days=days, out=out,
+                              options=options, stream=bool(stream))
+    max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "scenario": scenario,
+        "days": days,
+        "day_seconds": float(day_seconds),
+        "streamed": bool(stream),
+        "clients": report.clients,
+        "shards": len(report.shards),
+        "dispatched": report.dispatched,
+        "sim_seconds": report.sim_seconds,
+        "fleet_digest": report.fleet_digest,
+        "max_rss_kb": max_rss_kb,
+    }
+
+
+def measure_subprocess(scenario, days, day_seconds, stream, seed=0):
+    """Run :func:`measure` in a fresh interpreter; returns its dict.
+
+    The child inherits this interpreter and environment, with the repro
+    package's root prepended to ``PYTHONPATH`` so ``-m`` resolves the
+    same checkout regardless of how the parent was launched.
+    """
+    import repro
+
+    package_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                         if existing else package_root)
+    with tempfile.TemporaryDirectory(prefix="ckpt-bench-") as scratch:
+        spec = {
+            "scenario": scenario,
+            "days": days,
+            "day_seconds": day_seconds,
+            "stream": bool(stream),
+            "out": os.path.join(scratch, "store"),
+            "seed": seed,
+        }
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.ckpt.bench"],
+            input=json.dumps(spec), capture_output=True, text=True,
+            env=env, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError("ckpt bench subprocess failed:\n%s"
+                           % proc.stderr)
+    return json.loads(proc.stdout)
+
+
+def main():
+    spec = json.load(sys.stdin)
+    json.dump(measure(**spec), sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

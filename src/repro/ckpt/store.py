@@ -1,0 +1,216 @@
+"""The on-disk checkpoint format: one directory, versioned, verifiable.
+
+::
+
+    <root>/
+      manifest.json            # identity + per-shard digests (last)
+      shards/s00/
+        state-d0000.pkl        # parked day-0 world (initial_state)
+        state-d0001.pkl ...    # one boundary state per completed day
+        timeline.txt           # canonical event lines, appended per day
+        metrics.jsonl          # one {"day", "rows"} record per day
+        days.jsonl             # one summary record per day (see runner)
+
+Append-only by construction: running day *d* appends to the three
+shard files and adds ``state-d<d+1>.pkl``; nothing earlier is ever
+rewritten.  The manifest is written last (atomically, via rename) once
+every shard has completed, so a crashed run leaves a directory without
+a (current) manifest rather than a plausible-looking lie.
+
+Byte-identity across from-scratch and extended runs falls out of the
+format: every file is a concatenation of per-day units that are
+themselves pure functions of ``(spec, seed, options, day)``, and the
+manifest is a pure function of the directory content plus the identity
+tuple.
+
+The full-shard timeline digest is **streamed** from ``timeline.txt``
+(the file is read in chunks, never loaded whole) and matches
+:func:`repro.fleetd.executor.digest_rows` over the concatenated rows —
+the same hashing the golden fixtures and fleetd equivalence proofs
+use, so checkpointed runs are directly comparable with both.
+"""
+
+import hashlib
+import json
+import os
+
+#: Version of the directory layout + manifest field set.
+MANIFEST_SCHEMA = "repro.ckpt/1"
+
+
+class CheckpointError(Exception):
+    """A checkpoint directory that cannot be (safely) used."""
+
+
+def _sha256_file(path):
+    """Streamed sha256 of a file's raw bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class ShardStore:
+    """One shard's slice of the checkpoint directory."""
+
+    def __init__(self, root):
+        self.root = root
+        self.timeline_path = os.path.join(root, "timeline.txt")
+        self.metrics_path = os.path.join(root, "metrics.jsonl")
+        self.days_path = os.path.join(root, "days.jsonl")
+
+    def ensure(self):
+        os.makedirs(self.root, exist_ok=True)
+        return self
+
+    def state_name(self, day):
+        return "state-d%04d.pkl" % day
+
+    def state_path(self, day):
+        return os.path.join(self.root, self.state_name(day))
+
+    def write_state(self, day, blob):
+        path = self.state_path(day)
+        with open(path + ".tmp", "wb") as fh:
+            fh.write(blob)
+        os.replace(path + ".tmp", path)
+        return path
+
+    def read_state_bytes(self, day):
+        with open(self.state_path(day), "rb") as fh:
+            return fh.read()
+
+    def state_sha256(self, day):
+        return _sha256_file(self.state_path(day))
+
+    def append_day(self, lines, metrics_record, day_record):
+        """Append one completed day unit to the three shard files.
+
+        ``lines`` are the day's canonical timeline lines;
+        ``metrics_record`` is the ``{"day", "rows"}`` payload;
+        ``day_record`` the summary row.  Ordering matters for crash
+        behaviour: the summary goes last, so a torn append leaves
+        ``days.jsonl`` short — which verify flags — instead of a
+        summary pointing at missing data.
+        """
+        with open(self.timeline_path, "a", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line)
+                fh.write("\n")
+        with open(self.metrics_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(metrics_record, sort_keys=True))
+            fh.write("\n")
+        with open(self.days_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(day_record, sort_keys=True))
+            fh.write("\n")
+
+    def read_days(self):
+        """All day summary records, in append (= day) order."""
+        if not os.path.exists(self.days_path):
+            return []
+        with open(self.days_path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def read_metrics(self):
+        """All per-day metrics records, in day order."""
+        if not os.path.exists(self.metrics_path):
+            return []
+        with open(self.metrics_path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def iter_timeline(self):
+        """Canonical timeline lines, streamed (never the whole file)."""
+        if not os.path.exists(self.timeline_path):
+            return
+        with open(self.timeline_path, encoding="utf-8") as fh:
+            for line in fh:
+                yield line.rstrip("\n")
+
+    def timeline_digest(self):
+        """sha256 over the shard's full timeline, streamed from disk.
+
+        Identical to :func:`repro.fleetd.executor.digest_rows` over the
+        concatenated rows: the file stores one canonical line plus
+        ``\\n`` per row, and digest_rows hashes lines joined by
+        ``\\n`` — so we hash the raw bytes while holding back the
+        file's final newline.
+        """
+        digest = hashlib.sha256()
+        held = b""
+        if os.path.exists(self.timeline_path):
+            with open(self.timeline_path, "rb") as fh:
+                for chunk in iter(lambda: fh.read(1 << 20), b""):
+                    digest.update(held)
+                    held = chunk[-1:]
+                    digest.update(chunk[:-1])
+        if held and held != b"\n":
+            digest.update(held)
+        return digest.hexdigest()
+
+    def day_digests(self, events_per_day):
+        """Recompute each day's digest by slicing the timeline stream.
+
+        ``events_per_day`` gives the line count of every day in order
+        (from the summary records); the concatenation property of the
+        format makes the slice boundaries exact.
+        """
+        digests = []
+        lines = self.iter_timeline()
+        for count in events_per_day:
+            chunk = []
+            for _ in range(count):
+                try:
+                    chunk.append(next(lines))
+                except StopIteration:
+                    raise CheckpointError(
+                        "timeline %s is shorter than its day summaries"
+                        % self.timeline_path) from None
+            blob = "\n".join(chunk).encode("utf-8")
+            digests.append(hashlib.sha256(blob).hexdigest())
+        leftover = sum(1 for _ in lines)
+        if leftover:
+            raise CheckpointError(
+                "timeline %s has %d line(s) beyond its day summaries"
+                % (self.timeline_path, leftover))
+        return digests
+
+
+class CheckpointStore:
+    """The whole checkpoint directory: manifest + per-shard stores."""
+
+    def __init__(self, root):
+        self.root = root
+        self.manifest_path = os.path.join(root, "manifest.json")
+
+    def exists(self):
+        return os.path.exists(self.manifest_path)
+
+    def shard(self, index):
+        return ShardStore(os.path.join(self.root, "shards",
+                                       "s%02d" % index))
+
+    def read_manifest(self):
+        try:
+            with open(self.manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            raise CheckpointError(
+                "no checkpoint manifest at %s" % self.manifest_path) \
+                from None
+        schema = manifest.get("schema")
+        if schema != MANIFEST_SCHEMA:
+            raise CheckpointError(
+                "checkpoint %s has manifest schema %r; this build "
+                "reads only %r" % (self.root, schema, MANIFEST_SCHEMA))
+        return manifest
+
+    def write_manifest(self, manifest):
+        """Atomic write: the manifest appears complete or not at all."""
+        os.makedirs(self.root, exist_ok=True)
+        blob = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        with open(self.manifest_path + ".tmp", "w",
+                  encoding="utf-8") as fh:
+            fh.write(blob)
+        os.replace(self.manifest_path + ".tmp", self.manifest_path)
+        return self.manifest_path

@@ -22,6 +22,9 @@
     python -m repro golden --check       # golden timeline digests
     python -m repro spec list            # the declarative catalogue
     python -m repro spec run doc-archive --check-invariants
+    python -m repro ckpt run --scenario fleet-32 --days 2 --out ck/
+    python -m repro ckpt extend --out ck/ --days +1
+    python -m repro ckpt verify --out ck/
 """
 
 import argparse
@@ -297,6 +300,11 @@ def _cmd_spec(args):
     raise SystemExit(spec_cli.main(args.rest))
 
 
+def _cmd_ckpt(args):
+    from repro.ckpt import cli as ckpt_cli
+    raise SystemExit(ckpt_cli.main(args.rest))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -390,7 +398,8 @@ def build_parser():
     p.add_argument("--scenario", action="append", default=None,
                    help="fleet-8|fleet-32|fleet-64|fleet-golden|"
                         "trickle-outage|transport-sweep|fleetd-64|"
-                        "fleet-256|fleet-1024; repeatable "
+                        "fleet-256|fleet-1024|ckpt-fleet-256|"
+                        "ckpt-fleet-256-resident; repeatable "
                         "(default: fleet-8)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", action="append", type=int, default=None,
@@ -464,6 +473,14 @@ def build_parser():
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments for the spec subcommand")
     p.set_defaults(fn=_cmd_spec)
+
+    p = sub.add_parser(
+        "ckpt", add_help=False,
+        help="resumable fleet simulation: checkpoint, extend, verify "
+             "(run | extend | verify | info)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments for the ckpt subcommand")
+    p.set_defaults(fn=_cmd_ckpt)
 
     p = sub.add_parser(
         "check-determinism",

@@ -28,6 +28,13 @@ from itertools import count
 
 from repro.venus.cache import CacheEntry
 
+#: Version stamp written into every snapshot.  Bump when the captured
+#: field set (or the meaning of a field) changes; :func:`restore_venus`
+#: refuses snapshots stamped with any other version, so a checkpoint
+#: written by one schema can never be silently misread by another
+#: (the repro.ckpt manifests embed this next to their own version).
+SNAPSHOT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class VenusSnapshot:
@@ -47,6 +54,7 @@ class VenusSnapshot:
     entries: list = field(default_factory=list)
     volume_stamps: dict = field(default_factory=dict)
     hoard_entries: list = field(default_factory=list)
+    schema_version: int = SNAPSHOT_SCHEMA_VERSION
 
     @property
     def cml_len(self):
@@ -124,6 +132,12 @@ def restore_venus(snapshot, sim, network, host):
     """
     from repro.venus.venus import Venus
 
+    version = getattr(snapshot, "schema_version", None)
+    if version != SNAPSHOT_SCHEMA_VERSION:
+        raise ValueError(
+            "snapshot of %r has schema version %r; this build restores "
+            "only version %d" % (snapshot.node, version,
+                                 SNAPSHOT_SCHEMA_VERSION))
     server = snapshot.server_nodes if len(snapshot.server_nodes) > 1 \
         else snapshot.server_nodes[0]
     venus = Venus(sim, network, snapshot.node, server, host,

@@ -47,6 +47,10 @@ from dataclasses import dataclass, field
 #:   add recovery detail such as ``cml_records`` replayed).
 #: * ``reintegration_duplicate`` — the server skipped re-shipped CML
 #:   records it had already applied (``client``, ``seqnos``).
+#: * ``checkpoint_write`` / ``checkpoint_restore`` — repro.ckpt froze
+#:   or rebuilt state (``scope`` = shard|client; shard-scope events add
+#:   ``day`` and client counts, client-scope swap events add ``node``
+#:   and the CML length travelling with the snapshot).
 EVENT_KINDS = frozenset({
     "rpc_send",
     "rpc_reply",
@@ -67,6 +71,8 @@ EVENT_KINDS = frozenset({
     "node_crash",
     "node_restart",
     "reintegration_duplicate",
+    "checkpoint_write",
+    "checkpoint_restore",
 })
 
 

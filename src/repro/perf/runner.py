@@ -32,11 +32,27 @@ from repro.perf.profiler import capture_profile
 from repro.perf.scenarios import (
     SCENARIOS,
     SHARDED_SCENARIOS,
+    SUBPROCESS_SCENARIOS,
     run_macro_scenario,
 )
 from repro.sim import kernel
 
-BENCH_SCHEMA = "repro.perf/2"
+BENCH_SCHEMA = "repro.perf/3"
+
+
+def peak_rss_kb():
+    """This process's lifetime peak RSS in kilobytes (children included).
+
+    ``ru_maxrss`` is a high-water mark for the whole process lifetime,
+    so per-row values from one interpreter share a floor; rows that
+    need an isolated envelope (the ``ckpt-*`` scenarios) measure in a
+    fresh subprocess and carry their own ``max_rss_kb`` in the detail
+    dict, which :func:`run_perf` prefers over this reading.
+    """
+    import resource
+
+    return max(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+               resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
 
 
 class KernelTally:
@@ -89,6 +105,7 @@ class PerfResult:
     sim_seconds_per_wall_second: float
     simulators: int
     workers: int = 0        # 0 = single-process scenario
+    max_rss_kb: int = 0     # peak RSS attributable to this row
     detail: dict = field(default_factory=dict)
     hot_frames: list = field(default_factory=list)   # [HotFrame]
 
@@ -103,6 +120,7 @@ class PerfResult:
             "sim_seconds_per_wall_second": self.sim_seconds_per_wall_second,
             "simulators": self.simulators,
             "workers": self.workers,
+            "max_rss_kb": self.max_rss_kb,
             "detail": self.detail,
         }
         if self.hot_frames:
@@ -119,7 +137,11 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None):
     cannot see them, so event and sim-time totals come from the merged
     shard results instead; the profiled rerun is skipped because a
     parent-side profile would only rank pool bookkeeping and pickle
-    frames, not simulation work.  Unknown names raise ValueError with
+    frames, not simulation work.  Subprocess-measured scenarios
+    (:data:`repro.perf.scenarios.SUBPROCESS_SCENARIOS`) skip the
+    profiled rerun for the same reason and report the child's own
+    ``ru_maxrss`` as ``max_rss_kb``; every other row records this
+    process's lifetime peak.  Unknown names raise ValueError with
     the available listing (from
     :func:`repro.perf.scenarios.run_macro_scenario`).
     """
@@ -144,9 +166,10 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None):
         sim_seconds = detail.get("sim_seconds", 0.0)
         simulators = detail.get("shards", 0)
     frames = []
-    if profile and not sharded:
+    if profile and not sharded and name not in SUBPROCESS_SCENARIOS:
         _, frames = capture_profile(
             lambda: run_macro_scenario(name, seed=seed), top=top)
+    rss = detail.get("max_rss_kb") or peak_rss_kb()
     return PerfResult(
         scenario=name,
         seed=seed,
@@ -158,6 +181,7 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None):
             round(sim_seconds / wall, 3) if wall > 0 else 0.0),
         simulators=simulators,
         workers=(workers or 1) if sharded else 0,
+        max_rss_kb=rss,
         detail=detail,
         hot_frames=frames)
 
@@ -174,6 +198,7 @@ def results_to_bench(results):
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
+        "max_rss_kb": peak_rss_kb(),
         "scenarios": sorted(SCENARIOS),
         "results": [r.to_dict() for r in results],
     }
@@ -199,6 +224,7 @@ def format_result(result):
         "  sim time       %10.1f s  (%.1fx real time)"
         % (result.sim_seconds, result.sim_seconds_per_wall_second),
         "  simulators     %10d" % result.simulators,
+        "  peak rss       %10.1f MB" % (result.max_rss_kb / 1024.0),
     ]
     for key, value in sorted(result.detail.items()):
         lines.append("  %-14s %10s" % (key, _compact(value)))

@@ -97,6 +97,38 @@ SHARDED_SCENARIOS = frozenset({"fleetd-64", "fleet-256", "fleet-1024"})
 
 
 # ---------------------------------------------------------------------------
+# Checkpointed fleet scenarios (repro.ckpt): the sharded fleet run
+# through the segmented day driver, streamed vs resident.  Each row is
+# measured in a fresh subprocess (see repro.ckpt.bench) so its peak
+# RSS reflects one buffering strategy only; the pair demonstrates the
+# streamed path's memory envelope sitting below the collect-then-write
+# baseline on an identical-bytes workload.
+
+
+def _ckpt_fleet(fleet_scenario, stream):
+    def run(name, seed=0, observatory=None):
+        # The workload runs in a child process; an observatory cannot
+        # cross that boundary, and the child's ru_maxrss is the datum.
+        from repro.ckpt.bench import (
+            BENCH_DAY_SECONDS,
+            BENCH_DAYS,
+            measure_subprocess,
+        )
+
+        return measure_subprocess(fleet_scenario, BENCH_DAYS,
+                                  BENCH_DAY_SECONDS, stream, seed=seed)
+    return run
+
+
+#: Scenario names measured in a fresh subprocess.  Like the sharded
+#: set they skip the profiled rerun (a parent-side profile would rank
+#: subprocess plumbing, not simulation work), but they do not take a
+#: worker count: the memory rows are only comparable in-process.
+SUBPROCESS_SCENARIOS = frozenset({"ckpt-fleet-256",
+                                  "ckpt-fleet-256-resident"})
+
+
+# ---------------------------------------------------------------------------
 # Weak-connectivity micro-fleet: the obs scenarios back to back
 
 
@@ -163,6 +195,8 @@ SCENARIOS = {
     "fleetd-64": _sharded_fleet("fleet-64"),
     "fleet-256": _sharded_fleet("fleet-256"),
     "fleet-1024": _sharded_fleet("fleet-1024"),
+    "ckpt-fleet-256": _ckpt_fleet("fleet-256", stream=True),
+    "ckpt-fleet-256-resident": _ckpt_fleet("fleet-256", stream=False),
 }
 
 

@@ -50,3 +50,24 @@ class RandomStreams:
 
     def __getitem__(self, name):
         return self.stream(name)
+
+    def state(self):
+        """Picklable ``{name: generator state}`` over every named stream.
+
+        Keys are sorted so the capture is byte-identical however the
+        streams were created; :meth:`restore` is the inverse.  This is
+        the kernel-level hook checkpointing (:mod:`repro.ckpt`) uses to
+        freeze a simulation's entire stochastic future at a boundary.
+        """
+        return {name: self._streams[name].getstate()
+                for name in sorted(self._streams)}
+
+    def restore(self, states):
+        """Rewind every named stream to a :meth:`state` capture.
+
+        Streams not yet created are created first; streams outside the
+        capture are untouched (they re-derive from the master seed on
+        first use, exactly as in the run that produced the capture).
+        """
+        for name in sorted(states):
+            self.stream(name).setstate(states[name])

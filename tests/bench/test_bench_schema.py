@@ -24,6 +24,7 @@ ENVELOPE_TYPES = {
     "python": str,
     "platform": str,
     "cpus": int,
+    "max_rss_kb": int,
     "scenarios": list,
     "results": list,
 }
@@ -38,6 +39,7 @@ ROW_TYPES = {
     "sim_seconds_per_wall_second": float,
     "simulators": int,
     "workers": int,
+    "max_rss_kb": int,
     "detail": dict,
 }
 
@@ -49,6 +51,7 @@ def check_envelope(bench):
     assert bench["schema"] == BENCH_SCHEMA
     assert bench["scenarios"] == sorted(SCENARIOS)
     assert bench["cpus"] >= 1
+    assert bench["max_rss_kb"] > 0
     for row in bench["results"]:
         check_row(row)
 
@@ -61,6 +64,7 @@ def check_row(row):
     assert row["events"] > 0
     assert row["wall_seconds"] > 0
     assert row["workers"] >= 0
+    assert row["max_rss_kb"] > 0
     for frame in row.get("hot_frames", []):
         assert {"function", "file", "line"} <= set(frame), frame
 
@@ -85,6 +89,21 @@ def test_committed_bench_covers_the_fleet_ladder(committed):
     assert sharded, "no sharded rows in the committed bench"
     assert all(row["workers"] >= 1 for row in sharded)
     assert all(row["detail"].get("shards", 0) >= 2 for row in sharded)
+
+
+def test_committed_bench_streamed_rss_beats_resident(committed):
+    """The ckpt rows carry the memory-envelope claim of the PR: the
+    streamed path's peak RSS sits below the collect-then-write
+    baseline on an identical workload (same fleet digest)."""
+    rows = {row["scenario"]: row for row in committed["results"]}
+    streamed = rows["ckpt-fleet-256"]
+    resident = rows["ckpt-fleet-256-resident"]
+    assert streamed["detail"]["streamed"] is True
+    assert resident["detail"]["streamed"] is False
+    assert (streamed["detail"]["fleet_digest"]
+            == resident["detail"]["fleet_digest"])
+    assert streamed["detail"]["days"] >= 4
+    assert streamed["max_rss_kb"] < resident["max_rss_kb"]
 
 
 def test_live_envelope_matches_the_contract():

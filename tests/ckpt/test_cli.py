@@ -1,0 +1,102 @@
+"""``repro ckpt`` end to end: run, extend, verify, info.
+
+Driven through both entry points — the subsystem's own
+``repro.ckpt.cli.main`` and the top-level ``repro`` dispatcher — on a
+tiny fleet so the whole flow fits in a couple of seconds.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ckpt.cli import _added_days, main
+
+
+@pytest.fixture(scope="module")
+def flow(tmp_path_factory):
+    """One checkpoint taken through run -> extend on disk."""
+    root = str(tmp_path_factory.mktemp("ckpt-cli") / "store")
+    assert main(["run", "--scenario", "fleet-8", "--days", "1",
+                 "--out", root, "--day-seconds", "600"]) == 0
+    assert main(["extend", "--out", root, "--days", "+1"]) == 0
+    return root
+
+
+def test_run_then_extend_leaves_a_two_day_manifest(flow):
+    with open(os.path.join(flow, "manifest.json")) as fh:
+        manifest = json.load(fh)
+    assert manifest["days"] == 2
+    assert manifest["scenario"] == "fleet-8"
+    assert len(manifest["shards"]) == 2
+
+
+def test_run_prints_fleet_report_and_location(flow, capsys, tmp_path):
+    out = str(tmp_path / "fresh")
+    main(["run", "--scenario", "fleet-8", "--days", "1",
+          "--out", out, "--day-seconds", "600", "--resident"])
+    stdout = capsys.readouterr().out
+    assert "fleetd fleet-8" in stdout
+    assert "checkpoint: 1 day(s)" in stdout
+
+
+def test_verify_passes_on_the_good_store(flow, capsys):
+    assert main(["verify", "--out", flow, "--replay-day", "0",
+                 "--replay-shard", "0"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_exits_nonzero_on_corruption(flow, tmp_path, capsys):
+    import shutil
+
+    clone = str(tmp_path / "bad")
+    shutil.copytree(flow, clone)
+    path = os.path.join(clone, "shards", "s00", "timeline.txt")
+    os.truncate(path, os.path.getsize(path) - 20)
+    with pytest.raises(SystemExit) as err:
+        main(["verify", "--out", clone, "--no-replay"])
+    assert err.value.code == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+
+def test_info_summarizes_the_manifest(flow, capsys):
+    assert main(["info", "--out", flow]) == 0
+    stdout = capsys.readouterr().out
+    assert "scenario       fleet-8" in stdout
+    assert "shard 00" in stdout and "shard 01" in stdout
+
+
+def test_info_on_a_missing_store_exits_with_a_message(tmp_path):
+    with pytest.raises(SystemExit, match="manifest"):
+        main(["info", "--out", str(tmp_path / "void")])
+
+
+def test_run_refuses_an_existing_store_via_exit(flow):
+    with pytest.raises(SystemExit, match="already exists"):
+        main(["run", "--scenario", "fleet-8", "--days", "1",
+              "--out", flow, "--day-seconds", "600"])
+
+
+def test_extend_refuses_a_missing_store_via_exit(tmp_path):
+    with pytest.raises(SystemExit, match="manifest"):
+        main(["extend", "--out", str(tmp_path / "void")])
+
+
+def test_added_days_parses_plus_notation():
+    assert _added_days("+3") == 3
+    assert _added_days("2") == 2
+    with pytest.raises(SystemExit, match="wants \\+N"):
+        _added_days("tomorrow")
+
+
+def test_top_level_dispatcher_routes_ckpt(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    out = str(tmp_path / "via-repro")
+    with pytest.raises(SystemExit) as err:
+        repro_main(["ckpt", "run", "--scenario", "fleet-8",
+                    "--days", "1", "--out", out,
+                    "--day-seconds", "600"])
+    assert err.value.code == 0
+    assert os.path.exists(os.path.join(out, "manifest.json"))
+    capsys.readouterr()

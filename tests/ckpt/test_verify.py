@@ -1,0 +1,136 @@
+"""Planted-corruption coverage for ``repro ckpt verify``.
+
+Each test clones a known-good checkpoint, damages exactly one thing a
+real incident could damage — a truncated timeline, an edited manifest,
+a tampered state pickle, a vanished boundary file — and asserts that
+verification names the damage.  The good store itself must pass every
+structural check *and* a sampled in-process replay.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.ckpt import CkptOptions, run_checkpointed, verify_checkpoint
+
+OPTIONS = CkptOptions(day_seconds=600.0)
+
+
+@pytest.fixture(scope="module")
+def good_store(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("ckpt-verify") / "good")
+    run_checkpointed("fleet-8", days=2, out=root, options=OPTIONS)
+    return root
+
+
+@pytest.fixture
+def cloned(good_store, tmp_path):
+    clone = str(tmp_path / "clone")
+    shutil.copytree(good_store, clone)
+    return clone
+
+
+def failing_names(verdict):
+    return [check.name for check in verdict.failures]
+
+
+def test_good_store_passes_structural_and_replay(good_store):
+    verdict = verify_checkpoint(good_store)
+    assert verdict.ok, verdict.format()
+    names = [check.name for check in verdict.checks]
+    assert any(name.startswith("replay") for name in names)
+    assert "OK" in verdict.format()
+
+
+def test_replay_sample_can_be_pinned(good_store):
+    verdict = verify_checkpoint(good_store, replay_day=1,
+                                replay_shard=1)
+    assert verdict.ok, verdict.format()
+    assert any("replay s01 day 1" in check.name
+               for check in verdict.checks)
+
+
+def test_missing_manifest_fails_immediately(tmp_path):
+    verdict = verify_checkpoint(str(tmp_path / "void"))
+    assert not verdict.ok
+    assert failing_names(verdict) == ["manifest"]
+    assert "CORRUPT" in verdict.format()
+
+
+def test_truncated_timeline_is_caught(cloned):
+    path = os.path.join(cloned, "shards", "s00", "timeline.txt")
+    os.truncate(path, os.path.getsize(path) - 40)
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    names = failing_names(verdict)
+    assert any(name.startswith("shard 00") for name in names)
+    assert any("digest" in name for name in names)
+
+
+def test_tampered_manifest_digest_is_caught(cloned):
+    manifest_path = os.path.join(cloned, "manifest.json")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    manifest["shards"][0]["digest"] = "0" * 64
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    names = failing_names(verdict)
+    assert "shard 00 timeline-digest" in names
+    assert "fleet-digest" in names
+
+
+def test_tampered_state_pickle_is_caught(cloned):
+    path = os.path.join(cloned, "shards", "s01", "state-d0002.pkl")
+    with open(path, "r+b") as fh:
+        fh.seek(100)
+        byte = fh.read(1)
+        fh.seek(100)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    assert "shard 01 state-files" in failing_names(verdict)
+
+
+def test_missing_initial_state_is_caught(cloned):
+    os.remove(os.path.join(cloned, "shards", "s00", "state-d0000.pkl"))
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    assert "shard 00 state-files" in failing_names(verdict)
+
+
+def test_missing_boundary_state_is_caught(cloned):
+    os.remove(os.path.join(cloned, "shards", "s00", "state-d0001.pkl"))
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    assert "shard 00 state-files" in failing_names(verdict)
+
+
+def test_dropped_metrics_record_is_caught(cloned):
+    path = os.path.join(cloned, "shards", "s00", "metrics.jsonl")
+    with open(path) as fh:
+        lines = fh.readlines()
+    with open(path, "w") as fh:
+        fh.writelines(lines[:-1])
+    verdict = verify_checkpoint(cloned, replay=False)
+    assert not verdict.ok
+    assert "shard 00 metrics-records" in failing_names(verdict)
+
+
+def test_corruption_disables_the_replay_tier(cloned):
+    """Replaying against a store that failed structure would report
+    phantom mismatches, so verify skips it and says why via the
+    structural failures alone."""
+    manifest_path = os.path.join(cloned, "manifest.json")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    manifest["shards"][0]["digest"] = "f" * 64
+    with open(manifest_path, "w") as fh:
+        json.dump(manifest, fh)
+    verdict = verify_checkpoint(cloned, replay=True)
+    assert not verdict.ok
+    assert not any(check.name.startswith("replay")
+                   for check in verdict.checks)

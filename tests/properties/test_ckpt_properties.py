@@ -1,0 +1,56 @@
+"""Property: a checkpoint boundary is invisible in the output.
+
+For a total horizon of D day units, stopping at *any* day k in
+[1, D-1] and extending by the remainder must leave a store
+byte-identical to the from-scratch D-day run — every timeline byte,
+every metrics record, every boundary state pickle, and the manifest.
+The from-scratch reference is built once per session; Hypothesis
+drives the split point.
+"""
+
+import hashlib
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ckpt import CkptOptions, extend_checkpointed, run_checkpointed
+
+SCENARIO = "fleet-8"
+TOTAL_DAYS = 3
+OPTIONS = CkptOptions(day_seconds=600.0)
+
+_reference = {}
+
+
+def tree_bytes(root):
+    out = {}
+    for dirpath, _dirs, files in os.walk(root):
+        for fname in files:
+            path = os.path.join(dirpath, fname)
+            with open(path, "rb") as fh:
+                digest = hashlib.sha256(fh.read()).hexdigest()
+            out[os.path.relpath(path, root)] = digest
+    return out
+
+
+def reference_tree():
+    """The from-scratch D-day store's content hashes (built once)."""
+    if "tree" not in _reference:
+        with tempfile.TemporaryDirectory(prefix="ckpt-prop-") as base:
+            out = os.path.join(base, "scratch")
+            run_checkpointed(SCENARIO, days=TOTAL_DAYS, out=out,
+                             options=OPTIONS)
+            _reference["tree"] = tree_bytes(out)
+    return _reference["tree"]
+
+
+@settings(max_examples=4, deadline=None)
+@given(st.integers(min_value=1, max_value=TOTAL_DAYS - 1))
+def test_any_split_day_extends_to_identical_bytes(split):
+    reference = reference_tree()
+    with tempfile.TemporaryDirectory(prefix="ckpt-prop-") as base:
+        out = os.path.join(base, "split-%d" % split)
+        run_checkpointed(SCENARIO, days=split, out=out, options=OPTIONS)
+        extend_checkpointed(out, TOTAL_DAYS - split)
+        assert tree_bytes(out) == reference

@@ -18,6 +18,7 @@ FLOORS = {
     "(top)": 60.0,
     "analysis": 72.0,
     "bench": 30.0,      # paper-scale tables run in benchmarks/, not tier-1
+    "ckpt": 90.0,
     "core": 85.0,
     "faults": 90.0,
     "fleetd": 90.0,
