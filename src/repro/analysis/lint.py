@@ -20,9 +20,10 @@ The contract the rules encode (see DESIGN.md, "Determinism contract"):
 * **DET004** — no ``==``/``!=`` against simulation timestamps
   (``.now``).  Float equality on derived times is a latent
   platform/optimization hazard; compare with tolerances or ordering.
-* **SIM001** — only ``sim/kernel.py`` touches the event heap
-  (``heapq``, ``_queue``).  Everything else schedules through the
-  kernel API, which is what makes the dispatch order auditable.
+* **SIM001** — only the scheduler layer (``sim/queue.py`` and the
+  kernel files) touches the event queue (``heapq``, ``_queue``, the
+  raw ``_push`` entry-tuple hook).  Everything else schedules through
+  the kernel API, which is what makes the dispatch order auditable.
 * **OBS001** — trace-event kinds must be literal members of the closed
   taxonomy in :mod:`repro.obs.events`, so the linter (not just a
   runtime raise deep in a scenario) catches typos.
@@ -50,7 +51,8 @@ RULES = {
               "scheduler; sort before scheduling",
     "DET004": "==/!= on a simulation timestamp; compare with ordering "
               "or an explicit tolerance",
-    "SIM001": "event-heap access outside sim/kernel.py",
+    "SIM001": "event-queue access outside the scheduler layer "
+              "(sim/queue.py + kernel files)",
     "OBS001": "trace-event kind outside the closed taxonomy",
     "PRG001": "malformed suppression pragma (unknown rule or missing "
               "reason)",
@@ -65,11 +67,20 @@ FILE_ALLOWLISTS = {
     # The one sanctioned random.Random construction site: the named
     # stream family and derive_rng live here.
     "DET002": ("sim/rand.py",),
-    # The kernel owns the heap; events.py is the other half of the
-    # kernel layer — Event.succeed and Timeout.__init__ push the
-    # identical (time, priority, seq, event) tuple the kernel would,
-    # inlined because they are the two hottest trigger sites.
-    "SIM001": ("sim/kernel.py", "sim/events.py"),
+    # The scheduler layer, file by file:
+    #   sim/queue.py  — the queue implementations themselves (heapq is
+    #                   their storage primitive);
+    #   sim/kernel.py — owns the queue object and the run loop,
+    #                   including the per-kind inlined fast loops;
+    #   sim/events.py — Event.succeed and Timeout.__init__ push the
+    #                   identical (time, priority, seq, event) tuple
+    #                   the kernel would, through the scheduler's bound
+    #                   _push, inlined as the two hottest trigger
+    #                   sites;
+    #   sim/process.py — Process bootstrap and interrupt kicks push
+    #                   the same tuple shape for the same reason.
+    "SIM001": ("sim/queue.py", "sim/kernel.py", "sim/events.py",
+               "sim/process.py"),
 }
 
 _PRAGMA_RE = re.compile(
@@ -259,16 +270,16 @@ class _Visitor(ast.NodeVisitor):
                 self._module_aliases[alias.asname or root] = root
             if root == "heapq":
                 self._flag("SIM001", node,
-                           "import heapq: the event heap belongs to "
-                           "sim/kernel.py")
+                           "import heapq: heap storage belongs to the "
+                           "scheduler layer (sim/queue.py)")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node):
         module = (node.module or "").split(".")[0]
         if module == "heapq":
             self._flag("SIM001", node,
-                       "import from heapq: the event heap belongs to "
-                       "sim/kernel.py")
+                       "import from heapq: heap storage belongs to the "
+                       "scheduler layer (sim/queue.py)")
         if module in ("time", "datetime", "random"):
             for alias in node.names:
                 self._from_imports[alias.asname or alias.name] = \
@@ -360,10 +371,10 @@ class _Visitor(ast.NodeVisitor):
     # -- heap access -----------------------------------------------------
 
     def visit_Attribute(self, node):
-        if node.attr == "_queue":
+        if node.attr in ("_queue", "_push"):
             self._flag("SIM001", node,
-                       "direct event-heap (_queue) access outside the "
-                       "kernel")
+                       "direct event-queue (%s) access outside the "
+                       "scheduler layer" % node.attr)
         self.generic_visit(node)
 
 

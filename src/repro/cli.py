@@ -223,15 +223,17 @@ def _cmd_perf(args):
 
     results = []
     for name in args.scenario or ["fleet-8"]:
-        for workers in args.workers or [None]:
-            try:
-                result = run_perf(name, seed=args.seed,
-                                  profile=not args.no_profile,
-                                  top=args.top, workers=workers)
-            except ValueError as exc:
-                raise SystemExit(str(exc)) from None
-            results.append(result)
-            print(format_result(result))
+        for queue in args.queue or [None]:
+            for workers in args.workers or [None]:
+                try:
+                    result = run_perf(name, seed=args.seed,
+                                      profile=not args.no_profile,
+                                      top=args.top, workers=workers,
+                                      queue=queue)
+                except ValueError as exc:
+                    raise SystemExit(str(exc)) from None
+                results.append(result)
+                print(format_result(result))
     if args.json:
         path = write_bench(results, args.out)
         print("wrote %s" % path)
@@ -402,6 +404,11 @@ def build_parser():
                         "ckpt-fleet-256-resident; repeatable "
                         "(default: fleet-8)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--queue", action="append", default=None,
+                   choices=("heap", "calendar"),
+                   help="scheduler kind to time (repro.sim.queue); "
+                        "repeatable to produce one BENCH row per kind "
+                        "(default: the session default kind)")
     p.add_argument("--workers", action="append", type=int, default=None,
                    help="process-pool size for the sharded scenarios; "
                         "repeatable to time several worker counts")

@@ -5,8 +5,6 @@ wait on events by yielding them; other code triggers them with
 :meth:`Event.succeed` or :meth:`Event.fail`.
 """
 
-from heapq import heappush
-
 _PENDING = object()
 
 # Scheduling priorities: urgent events (process resumption bookkeeping)
@@ -80,9 +78,10 @@ class Event:
         self._ok = True
         self._value = value
         # sim._schedule_event(self, URGENT) inlined — the hottest
-        # trigger site; the tuple pushed is byte-identical.
+        # trigger site; the tuple pushed is byte-identical.  sim._push
+        # is the scheduler's bound push (C-level for the heap kind).
         sim = self.sim
-        heappush(sim._queue, (sim.now, URGENT, next(sim._sequence), self))
+        sim._push((sim.now, URGENT, next(sim._sequence), self))
         return self
 
     def fail(self, exception):
@@ -160,8 +159,7 @@ class Timeout(Event):
         self._pending_value = value
         # sim._schedule_event(self, NORMAL, delay=delay) inlined; the
         # tuple pushed is byte-identical.
-        heappush(sim._queue,
-                 (sim.now + delay, NORMAL, next(sim._sequence), self))
+        sim._push((sim.now + delay, NORMAL, next(sim._sequence), self))
 
     def _process(self):
         # Event._process inlined; a timeout cannot fail, so the

@@ -1,12 +1,12 @@
-"""The simulation kernel: an event heap and the run loop."""
+"""The simulation kernel: a pluggable event queue and the run loop."""
 
-import heapq
-from heapq import heappush
+from heapq import heappop
 from itertools import count
 
 from repro.obs.observatory import NULL_OBS
 from repro.sim.events import AllOf, AnyOf, Event, Timeout, URGENT, _PENDING
 from repro.sim.process import Process
+from repro.sim.queue import CalendarQueue, HeapQueue, make_queue
 
 
 class Simulator:
@@ -16,15 +16,26 @@ class Simulator:
     ``(time, priority, insertion order)`` order, so identical inputs
     always produce identical schedules.
 
+    ``queue`` selects the scheduler (:mod:`repro.sim.queue`): a kind
+    name (``"heap"``, ``"calendar"``), an already-built queue object,
+    or None for the module default.  Every scheduler honors the same
+    total order, which the differential harness and the golden
+    timeline digests enforce — so the choice affects speed, never the
+    schedule.
+
     ``obs`` is the observability hook (:mod:`repro.obs`): the null
     observatory by default, replaced by ``Observatory(sim)`` when a
     run is instrumented.  Observation never schedules events, so it
     cannot perturb the schedule.
     """
 
-    def __init__(self, start_time=0.0):
+    def __init__(self, start_time=0.0, queue=None):
         self.now = float(start_time)
-        self._queue = []
+        self._queue = make_queue(queue, self.now)
+        # Bound once: the trigger sites in events.py/process.py push
+        # through this to reach the scheduler without a second
+        # attribute hop per event.
+        self._push = self._queue.push
         self._sequence = count()
         self._active_process = None
         self.obs = NULL_OBS
@@ -96,9 +107,7 @@ class Simulator:
     # Scheduling internals
 
     def _schedule_event(self, event, priority, delay=0.0):
-        heappush(
-            self._queue,
-            (self.now + delay, priority, next(self._sequence), event))
+        self._push((self.now + delay, priority, next(self._sequence), event))
 
     def _call_soon(self, callback, *args):
         # An inlined stub.succeed(): the stub is born triggered.
@@ -113,7 +122,7 @@ class Simulator:
 
     def step(self):
         """Process the single next event.  Raises IndexError if empty."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = self._queue.pop()
         self.now = when
         self.dispatched += 1
         obs = self.obs
@@ -124,7 +133,15 @@ class Simulator:
 
     def peek(self):
         """Time of the next scheduled event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._queue.peek_when()
+
+    def peek_entry(self):
+        """The next ``(when, prio, seq, event)`` entry, or None if empty.
+
+        Read-only; the spec schedule probe logs ``entry[:3]`` from here
+        so it works against any scheduler, not just the heap.
+        """
+        return self._queue.peek_entry()
 
     def run(self, until=None):
         """Run events until the queue drains or ``until`` is reached.
@@ -149,18 +166,24 @@ class Simulator:
             return stop_event._value
 
         deadline = float("inf") if until is None else float(until)
+        queue_obj = self._queue
         if "step" in self.__dict__:
             # An instance-level step override (the obs schedule probe
             # wraps it to log every dispatch) must keep seeing each
             # event; take the plain loop.
-            while self._queue and self._queue[0][0] <= deadline:
+            peek_when = queue_obj.peek_when
+            while True:
+                upcoming = peek_when()
+                if upcoming is None or upcoming > deadline:
+                    break
                 self.step()
-        else:
-            # Fast path: step() inlined.  Locals for the queue and
-            # heappop save a method call plus several attribute loads
-            # per event — the single hottest loop in fleet-scale runs.
-            queue = self._queue
-            pop = heapq.heappop
+        elif type(queue_obj) is HeapQueue:
+            # Fast path: step() inlined over the reference heap.
+            # Locals for the heap list and heappop save a method call
+            # plus several attribute loads per event — the single
+            # hottest loop in fleet-scale runs.
+            queue = queue_obj._heap
+            pop = heappop
             cached_obs = dispatch_counter = depth_gauge = None
             done = 0
             # ``dispatched`` accumulates in a local and lands on the
@@ -186,6 +209,80 @@ class Simulator:
                                 "sim.queue_depth")
                         dispatch_counter.inc()
                         depth_gauge.set(len(queue))
+                    event._process()
+            finally:
+                self.dispatched += done
+        elif type(queue_obj) is CalendarQueue:
+            # Fast path: step() inlined over the calendar queue.  The
+            # at-instant FIFO lanes need no deadline check inside the
+            # loop: every lane entry is due at ``_instant``, and
+            # ``_advance`` only ever moves the instant to a time at or
+            # before the deadline.  A lane left over from a previous
+            # ``run(until=Event)`` stop can sit *beyond* this call's
+            # deadline, which the one-time guard catches — the heap
+            # path dispatches nothing in that situation either.
+            urgent = queue_obj._urgent
+            normal = queue_obj._normal
+            pop_urgent = urgent.popleft
+            pop_normal = normal.popleft
+            advance = queue_obj._advance
+            cached_obs = dispatch_counter = depth_gauge = None
+            done = 0
+            live = not ((urgent or normal) and queue_obj._instant > deadline)
+            try:
+                while live:
+                    if urgent:
+                        when, _prio, _seq, event = pop_urgent()
+                    elif normal:
+                        when, _prio, _seq, event = pop_normal()
+                    else:
+                        entry = advance(deadline)
+                        if entry is None:
+                            break
+                        when = entry[0]
+                        event = entry[3]
+                    self.now = when
+                    done += 1
+                    obs = self.obs
+                    if obs.enabled:
+                        if obs is not cached_obs:
+                            cached_obs = obs
+                            dispatch_counter = obs.metrics.counter(
+                                "sim.events_dispatched")
+                            depth_gauge = obs.metrics.gauge(
+                                "sim.queue_depth")
+                        dispatch_counter.inc()
+                        depth_gauge.set(len(queue_obj))
+                    event._process()
+            finally:
+                self.dispatched += done
+        else:
+            # Generic loop for externally supplied schedulers
+            # (including deliberately broken ones under the
+            # differential harness): only the documented queue
+            # interface, no structural assumptions.
+            peek_when = queue_obj.peek_when
+            pop = queue_obj.pop
+            cached_obs = dispatch_counter = depth_gauge = None
+            done = 0
+            try:
+                while True:
+                    upcoming = peek_when()
+                    if upcoming is None or upcoming > deadline:
+                        break
+                    when, _prio, _seq, event = pop()
+                    self.now = when
+                    done += 1
+                    obs = self.obs
+                    if obs.enabled:
+                        if obs is not cached_obs:
+                            cached_obs = obs
+                            dispatch_counter = obs.metrics.counter(
+                                "sim.events_dispatched")
+                            depth_gauge = obs.metrics.gauge(
+                                "sim.queue_depth")
+                        dispatch_counter.inc()
+                        depth_gauge.set(len(queue_obj))
                     event._process()
             finally:
                 self.dispatched += done

@@ -31,7 +31,9 @@ class Process(Event):
         bootstrap.callbacks.append(self._on_target)
         bootstrap._ok = True
         bootstrap._value = None
-        sim._schedule_event(bootstrap, URGENT)
+        # sim._schedule_event(bootstrap, URGENT) inlined; the tuple
+        # pushed is byte-identical.
+        sim._push((sim.now, URGENT, next(sim._sequence), bootstrap))
 
     @property
     def is_alive(self):
@@ -50,12 +52,15 @@ class Process(Event):
         if self._target is not None:
             self._target.unsubscribe(self._on_target)
             self._target = None
-        kick = Event(self.sim)
+        sim = self.sim
+        kick = Event(sim)
         kick.callbacks.append(self._on_target)
         kick._ok = False
         kick._value = Interrupt(cause)
         kick._defused = True
-        self.sim._schedule_event(kick, URGENT)
+        # sim._schedule_event(kick, URGENT) inlined; the tuple pushed
+        # is byte-identical.
+        sim._push((sim.now, URGENT, next(sim._sequence), kick))
 
     def _resume(self, event):
         if self._value is not _PENDING:   # i.e. self.triggered

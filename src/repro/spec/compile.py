@@ -15,14 +15,18 @@ from repro.spec.seeds import master_seed
 
 
 def probe_schedule(sim, schedule_log):
-    """Wrap ``sim.step`` to log each dispatch's heap key."""
+    """Wrap ``sim.step`` to log each dispatch's scheduler key.
+
+    ``peek_entry`` is the scheduler-neutral view of the next dispatch:
+    the determinism regression tests need the raw
+    ``(time, priority, seq)`` order, and reading it through the queue
+    interface means the probe works (and the logged keys must agree)
+    under every queue kind, not just the reference heap.
+    """
     original_step = sim.step
 
     def probed_step():
-        # repro: allow[SIM001] read-only peek at the next dispatch key; the
-        # determinism regression tests need the raw (time, priority, seq)
-        # order and this probe never mutates the heap.
-        schedule_log.append(sim._queue[0][:3])
+        schedule_log.append(sim.peek_entry()[:3])
         original_step()
 
     sim.step = probed_step

@@ -15,6 +15,7 @@ import pytest
 
 from repro.perf.runner import BENCH_SCHEMA, results_to_bench, run_perf
 from repro.perf.scenarios import SCENARIOS
+from repro.sim.queue import QUEUE_KINDS
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
                           "BENCH_perf.json")
@@ -38,6 +39,7 @@ ROW_TYPES = {
     "events_per_sec": float,
     "sim_seconds_per_wall_second": float,
     "simulators": int,
+    "queue": str,
     "workers": int,
     "max_rss_kb": int,
     "detail": dict,
@@ -61,6 +63,7 @@ def check_row(row):
         assert key in row, "row missing %r" % key
         assert isinstance(row[key], kind), (row["scenario"], key)
     assert row["scenario"] in SCENARIOS
+    assert row["queue"] in QUEUE_KINDS
     assert row["events"] > 0
     assert row["wall_seconds"] > 0
     assert row["workers"] >= 0
@@ -104,6 +107,22 @@ def test_committed_bench_streamed_rss_beats_resident(committed):
             == resident["detail"]["fleet_digest"])
     assert streamed["detail"]["days"] >= 4
     assert streamed["max_rss_kb"] < resident["max_rss_kb"]
+
+
+def test_committed_bench_calendar_beats_heap_on_fleet_64(committed):
+    """The scheduler-swap regression gate: the calendar queue must at
+    least match the reference heap on the headline fleet scenario —
+    measured on the *same* simulation (identical event count and
+    detail stats prove the two rows ran the same schedule)."""
+    rows = [row for row in committed["results"]
+            if row["scenario"] == "fleet-64"]
+    by_queue = {row["queue"]: row for row in rows}
+    assert {"heap", "calendar"} <= set(by_queue), \
+        "fleet-64 must be benched under both queue kinds"
+    heap, calendar = by_queue["heap"], by_queue["calendar"]
+    assert calendar["events"] == heap["events"]
+    assert calendar["detail"] == heap["detail"]
+    assert calendar["events_per_sec"] >= heap["events_per_sec"]
 
 
 def test_live_envelope_matches_the_contract():

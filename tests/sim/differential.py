@@ -1,0 +1,265 @@
+"""Differential scheduler harness: prove two queue kinds dispatch alike.
+
+The golden digests pin the obs timeline of eleven scenarios; this
+harness is the finer instrument behind them.  It runs the *same*
+scenario once per scheduler kind (:mod:`repro.sim.queue`) and
+byte-compares two witnesses:
+
+* **dispatch tier** — every single dispatch, as the canonical line
+  ``(when, priority, seq, event-class)`` read through
+  ``Simulator.peek_entry()`` immediately before the event runs.  Any
+  ordering disagreement between queue kinds — a swapped tie, an
+  out-of-order bucket, a mis-sliced timeout — shows up at the exact
+  event index where it happens.  The instance-level ``step`` override
+  routes the run through the kernel's generic loop, so this tier also
+  exercises the plain queue interface of whatever kind is under test
+  (including deliberately broken ones; see ``broken_queues.py``).
+* **timeline tier** — the obs event timeline, captured *without* any
+  probe, so the kernel takes its per-kind inlined fast loop.  This is
+  the tier that proves the fast paths themselves — not just the
+  ``pop()`` interface — are schedule-identical.
+
+Scenario specs are the ``repro.analysis.divergence`` syntax
+(``obs:<name>``, ``faults:<name>``, ``mod:<module>:<function>``) plus
+``perf:<name>`` for the catalogued macro-scenarios, or a bare callable
+taking ``observatory=``.  Usable as a script for the CI
+``queue-differential`` smoke job::
+
+    PYTHONPATH=src python tests/sim/differential.py \
+        --scenario obs:trickle --scenario perf:fleet-32 \
+        --queue heap --queue calendar --digest
+
+``--digest`` streams each dispatch line into a sha256 instead of
+keeping it (fleet-scale runs dispatch millions of events); divergence
+is still detected, just without the surrounding context lines.
+"""
+
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.analysis.divergence import (
+    _canonical,
+    compare_timelines,
+    resolve_scenario,
+)
+from repro.sim import kernel
+from repro.sim.queue import use_kind
+
+DEFAULT_KINDS = ("heap", "calendar")
+DEFAULT_TIERS = ("dispatch", "timeline")
+
+
+def resolve(spec):
+    """Like divergence's resolver, plus ``perf:<name>`` and callables."""
+    if callable(spec):
+        return spec
+    if isinstance(spec, str) and spec.startswith("perf:"):
+        from repro.perf.scenarios import run_macro_scenario
+        name = spec[len("perf:"):]
+        return lambda observatory: run_macro_scenario(
+            name, observatory=observatory)
+    return resolve_scenario(spec)
+
+
+class DispatchProbe:
+    """Record every dispatch of every Simulator built inside ``with``.
+
+    Patches ``Simulator.__init__`` (KernelTally-style) to install an
+    instance-level ``step`` wrapper that logs the scheduler's next
+    entry — via the queue-neutral ``peek_entry()`` — before stepping.
+    With ``digest=True`` the lines fold into a sha256 as they stream;
+    otherwise they are kept for context reporting.
+    """
+
+    def __init__(self, digest=False):
+        self.lines = [] if not digest else None
+        self._hash = hashlib.sha256()
+        self.count = 0
+        self._original = None
+
+    def __enter__(self):
+        self._original = kernel.Simulator.__init__
+        probe = self
+        original = self._original
+
+        def probed_init(sim, *args, **kwargs):
+            original(sim, *args, **kwargs)
+            original_step = sim.step
+
+            def probed_step():
+                entry = sim.peek_entry()
+                line = "%r %r %r %s" % (entry[0], entry[1], entry[2],
+                                        type(entry[3]).__name__)
+                probe.count += 1
+                if probe.lines is not None:
+                    probe.lines.append(line)
+                else:
+                    probe._hash.update(line.encode("utf-8"))
+                    probe._hash.update(b"\n")
+                original_step()
+
+            sim.step = probed_step
+
+        kernel.Simulator.__init__ = probed_init
+        return self
+
+    def __exit__(self, *exc_info):
+        kernel.Simulator.__init__ = self._original
+        return False
+
+    def witness(self):
+        """``(comparable, count)``: lines, or the streamed digest."""
+        if self.lines is not None:
+            return list(self.lines), self.count
+        return [self._hash.hexdigest()], self.count
+
+
+def capture_dispatches(spec, kind, digest=False):
+    """Dispatch-tier witness of ``spec`` under queue ``kind``."""
+    run = resolve(spec)
+    with use_kind(kind), DispatchProbe(digest=digest) as probe:
+        run(observatory=None)
+    return probe.witness()
+
+
+def capture_obs_timeline(spec, kind):
+    """Timeline-tier witness (fast-path run) under queue ``kind``."""
+    from repro.obs import Observatory
+    run = resolve(spec)
+    with use_kind(kind):
+        observatory = Observatory()
+        run(observatory=observatory)
+        events = [dict(event.to_row())
+                  for event in observatory.trace.events]
+    lines = [_canonical(event) for event in events]
+    return lines, len(lines)
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one scenario × tier comparison across queue kinds."""
+
+    scenario: str
+    kinds: tuple
+    tier: str
+    identical: bool
+    events_a: int
+    events_b: int
+    first_divergence: int = None
+    context_a: list = field(default_factory=list)
+    context_b: list = field(default_factory=list)
+
+    def format(self):
+        label = "%s [%s]" % (self.scenario, self.tier)
+        versus = " vs ".join(self.kinds)
+        if self.identical:
+            return ("queue-differential %s: %d events byte-identical "
+                    "(%s)" % (label, self.events_a, versus))
+        lines = [
+            "queue-differential %s: DIVERGENCE at event %s (%s)"
+            % (label, self.first_divergence, versus),
+            "  %s: %d events; %s: %d events"
+            % (self.kinds[0], self.events_a, self.kinds[1],
+               self.events_b),
+            "  --- %s context ---" % self.kinds[0],
+        ]
+        lines += ["  " + line for line in self.context_a]
+        lines.append("  --- %s context ---" % self.kinds[1])
+        lines += ["  " + line for line in self.context_b]
+        return "\n".join(lines)
+
+
+def _compare(scenario, kinds, tier, a, b, context):
+    (lines_a, count_a), (lines_b, count_b) = a, b
+    index, ctx_a, ctx_b = compare_timelines(lines_a, lines_b,
+                                            context=context)
+    # In digest mode the "lines" are one hexdigest each, so a
+    # divergence index is meaningless; keep the honest event counts.
+    identical = index is None and count_a == count_b
+    return DifferentialReport(
+        scenario=scenario if isinstance(scenario, str)
+        else getattr(scenario, "__name__", repr(scenario)),
+        kinds=kinds, tier=tier, identical=identical,
+        events_a=count_a, events_b=count_b,
+        first_divergence=None if identical else index,
+        context_a=[] if identical else ctx_a,
+        context_b=[] if identical else ctx_b)
+
+
+def diff_scenario(spec, kinds=DEFAULT_KINDS, tiers=DEFAULT_TIERS,
+                  context=3, digest=False):
+    """Run ``spec`` under each kind; compare per tier.
+
+    Returns a list of :class:`DifferentialReport`, one per tier, each
+    comparing ``kinds[0]`` (the reference) against every other kind
+    pairwise — stopping a tier at its first diverging kind.
+    """
+    reports = []
+    for tier in tiers:
+        if tier == "dispatch":
+            capture = lambda kind: capture_dispatches(  # noqa: E731
+                spec, kind, digest=digest)
+        elif tier == "timeline":
+            capture = lambda kind: capture_obs_timeline(  # noqa: E731
+                spec, kind)
+        else:
+            raise ValueError("unknown tier %r" % (tier,))
+        reference = capture(kinds[0])
+        for kind in kinds[1:]:
+            report = _compare(spec, (kinds[0], kind), tier, reference,
+                              capture(kind), context)
+            reports.append(report)
+            if not report.identical:
+                break
+    return reports
+
+
+def main(argv=None):
+    """Script entry point for the CI smoke job.  Exit 0 iff identical."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="differential",
+        description="Byte-compare dispatch schedules across queue kinds")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="obs:<n> | faults:<n> | mod:<m>:<f> | "
+                             "perf:<n>; repeatable "
+                             "(default: obs:trickle)")
+    parser.add_argument("--queue", action="append", default=None,
+                        help="queue kinds to compare, first is the "
+                             "reference (default: heap calendar)")
+    parser.add_argument("--tier", action="append", default=None,
+                        choices=("dispatch", "timeline"),
+                        help="witness tiers to run (default: both)")
+    parser.add_argument("--digest", action="store_true",
+                        help="stream dispatch lines into a sha256 "
+                             "(for fleet-scale scenarios)")
+    parser.add_argument("--context", type=int, default=3)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+    scenarios = args.scenario or ["obs:trickle"]
+    kinds = tuple(args.queue or DEFAULT_KINDS)
+    tiers = tuple(args.tier or DEFAULT_TIERS)
+    failed = False
+    for spec in scenarios:
+        for report in diff_scenario(spec, kinds=kinds, tiers=tiers,
+                                    context=args.context,
+                                    digest=args.digest):
+            if args.json:
+                print(json.dumps({
+                    "scenario": report.scenario,
+                    "tier": report.tier,
+                    "kinds": list(report.kinds),
+                    "identical": report.identical,
+                    "events": [report.events_a, report.events_b],
+                    "first_divergence": report.first_divergence,
+                }, sort_keys=True))
+            else:
+                print(report.format())
+            failed = failed or not report.identical
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

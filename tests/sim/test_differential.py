@@ -1,0 +1,124 @@
+"""The differential harness: clean equivalence, and planted-bug teeth.
+
+Mirrors the planted-corruption style of ``tests/ckpt/test_verify.py``:
+first show the harness blesses the honest calendar queue, then damage
+the scheduler in two distinct ways (``broken_queues.py``) and assert
+the harness names the divergence — at event index zero, with context
+from both runs.
+"""
+
+from tests.sim.broken_queues import register_broken_kinds
+from tests.sim.differential import diff_scenario, main
+
+register_broken_kinds()
+
+
+# ---------------------------------------------------------------------------
+# Synthetic scenarios sized so a dispatch-order bug surfaces immediately.
+
+
+def staircase(observatory=None):
+    """Independent timeouts straddling adjacent calendar slices."""
+    from repro.sim import Simulator
+    sim = Simulator()
+    for delay in (0.6, 1.2, 2.7, 3.1, 0.2, 1.9):
+        sim.timeout(delay)
+    sim.run()
+
+
+def twins(observatory=None):
+    """Two processes born at the same instant — a pure FIFO-tie test."""
+    from repro.sim import Simulator
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(0.0)
+
+    sim.process(worker(), name="a")
+    sim.process(worker(), name="b")
+    sim.run()
+
+
+# ---------------------------------------------------------------------------
+# Clean equivalence
+
+
+def test_heap_and_calendar_agree_on_trickle():
+    reports = diff_scenario("obs:trickle")
+    assert [r.tier for r in reports] == ["dispatch", "timeline"]
+    for report in reports:
+        assert report.identical, report.format()
+        assert report.events_a > 0
+        assert report.events_a == report.events_b
+        assert "byte-identical" in report.format()
+
+
+def test_heap_and_calendar_agree_on_faults_smoke():
+    for report in diff_scenario("faults:smoke"):
+        assert report.identical, report.format()
+
+
+def test_digest_mode_agrees_without_keeping_lines():
+    (report,) = diff_scenario("obs:trickle", tiers=("dispatch",),
+                              digest=True)
+    assert report.identical, report.format()
+    assert report.events_a > 0
+
+
+def test_callable_scenarios_run_under_both_kinds():
+    for report in diff_scenario(staircase, tiers=("dispatch",)):
+        assert report.identical, report.format()
+    for report in diff_scenario(twins, tiers=("dispatch",)):
+        assert report.identical, report.format()
+
+
+# ---------------------------------------------------------------------------
+# Planted bugs: the harness must catch both, at the exact first event.
+
+
+def test_off_by_one_bucket_queue_is_caught():
+    (report,) = diff_scenario(staircase, kinds=("heap", "broken-bucket"),
+                              tiers=("dispatch",))
+    assert not report.identical
+    assert report.first_divergence == 0
+    assert report.context_a and report.context_b
+    assert "DIVERGENCE at event 0" in report.format()
+    # Same scenario, honest calendar: blessed.  The bug, not the
+    # scenario, is what the harness is reacting to.
+    (clean,) = diff_scenario(staircase, kinds=("heap", "calendar"),
+                             tiers=("dispatch",))
+    assert clean.identical
+
+
+def test_tie_order_violating_queue_is_caught():
+    (report,) = diff_scenario(twins, kinds=("heap", "broken-ties"),
+                              tiers=("dispatch",))
+    assert not report.identical
+    assert report.first_divergence == 0
+    (clean,) = diff_scenario(twins, kinds=("heap", "calendar"),
+                             tiers=("dispatch",))
+    assert clean.identical
+
+
+def test_broken_kind_divergence_is_caught_in_digest_mode():
+    (report,) = diff_scenario(staircase, kinds=("heap", "broken-bucket"),
+                              tiers=("dispatch",), digest=True)
+    assert not report.identical
+
+
+# ---------------------------------------------------------------------------
+# Script entry point (what the CI smoke job runs)
+
+
+def test_main_reports_clean_run(capsys):
+    assert main(["--scenario", "obs:trickle", "--tier", "dispatch"]) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+
+
+def test_main_flags_broken_kind(capsys):
+    code = main(["--scenario", "obs:trickle", "--tier", "dispatch",
+                 "--queue", "heap", "--queue", "broken-ties", "--json"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert '"identical": false' in out
