@@ -19,7 +19,7 @@ _LINKS = tuple("probe-%s" % token for token in
 
 def _emit(sim, name, delay):
     def probe():
-        yield sim.timeout(delay)
+        yield sim.sleep(delay)
         obs = sim.obs
         if obs.enabled:
             obs.event("packet_drop", link=name, reason="loss", bytes=1)

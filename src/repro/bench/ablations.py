@@ -447,7 +447,7 @@ def run_keepalive_ablation(idle_hours=1.0):
             # traffic and to Venus's.
             def layer_keepalive(period):
                 while True:
-                    yield sim.timeout(period)
+                    yield sim.sleep(period)
                     try:
                         yield venus.endpoint.ping(venus.server_node)
                     except Exception:

@@ -173,7 +173,7 @@ def _volume_tree(mount, config, streams):
 def _client_life(sim, config, venus, link, private, shared, extras,
                  rng, kind):
     """One client's weeks: work, roam, disconnect, reconnect, repeat."""
-    yield sim.timeout(rng.uniform(0, 600))
+    yield sim.sleep(rng.uniform(0, 600))
     yield from venus.connect()
     mean_gap = DAY / (config.private_writes_per_day
                       + config.shared_writes_per_day
@@ -186,7 +186,7 @@ def _client_life(sim, config, venus, link, private, shared, extras,
     total_weight = sum(weights)
     counter = 0
     while True:
-        yield sim.timeout(rng.expovariate(1.0 / mean_gap))
+        yield sim.sleep(rng.expovariate(1.0 / mean_gap))
         counter += 1
         pick = rng.random() * total_weight
         try:
@@ -221,7 +221,7 @@ def _outage_process(sim, config, venus, link, rng, kind):
     outages = (config.desktop_outages_per_day if kind == "desktop"
                else config.laptop_commutes_per_day)
     while True:
-        yield sim.timeout(rng.expovariate(outages / DAY))
+        yield sim.sleep(rng.expovariate(outages / DAY))
         bounces = 1 + (2 if rng.random() < config.flaky_reconnect_prob
                        else 0)
         for bounce in range(bounces):
@@ -230,13 +230,13 @@ def _outage_process(sim, config, venus, link, rng, kind):
             duration = (rng.expovariate(
                 1.0 / (config.outage_minutes * 60.0)) if bounce == 0
                 else rng.uniform(20.0, 120.0))
-            yield sim.timeout(duration)
+            yield sim.sleep(duration)
             link.set_up(True)
             yield from venus.connect()
             if bounce < bounces - 1:
                 # The link bounces again before a hoard walk can
                 # restore any stamps dropped by failed validations.
-                yield sim.timeout(rng.uniform(30.0, 300.0))
+                yield sim.sleep(rng.uniform(30.0, 300.0))
 
 
 def _evict_volume(venus, rng):
@@ -271,7 +271,7 @@ def _administrator(sim, config, server, system, rng):
     counter = 0
     while True:
         rate = config.system_updates_per_day * len(system)
-        yield sim.timeout(rng.expovariate(rate / DAY))
+        yield sim.sleep(rng.expovariate(rate / DAY))
         counter += 1
         volume = rng.choice(system)
         # Update one file directly at the server (an out-of-band admin

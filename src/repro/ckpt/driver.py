@@ -412,7 +412,7 @@ def _client_day(world, name, sessions):
     for index, session in enumerate(sessions):
         first_time = session[0][0]
         if first_time > sim.now:
-            yield sim.timeout(first_time - sim.now)
+            yield sim.sleep(first_time - sim.now)
         venus, link = _hydrate(world, name)
         if session[0][1] in ("wake", "op"):
             # Sessions opening with a link event connect (or not)
@@ -421,7 +421,7 @@ def _client_day(world, name, sessions):
             yield from venus.connect()
         for when, kind in session:
             if when > sim.now:
-                yield sim.timeout(when - sim.now)
+                yield sim.sleep(when - sim.now)
             if kind == "down":
                 link.set_up(False)
                 venus.handle_disconnection()
@@ -433,7 +433,7 @@ def _client_day(world, name, sessions):
             # "wake" carries no action: hydration already connected.
         park_at = session[-1][0] + world.options.settle_seconds
         if park_at > sim.now:
-            yield sim.timeout(park_at - sim.now)
+            yield sim.sleep(park_at - sim.now)
         _park(world, name)
 
 
@@ -445,7 +445,7 @@ def _admin_day(world):
     system = world.system + world.extra
     while True:
         rate = config.system_updates_per_day * len(system)
-        yield sim.timeout(rng.expovariate(rate / world.options.day_seconds))
+        yield sim.sleep(rng.expovariate(rate / world.options.day_seconds))
         world.admin_counter += 1
         volume = rng.choice(system)
         fids = [fid for fid, vnode in volume.vnodes.items()

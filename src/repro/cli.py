@@ -224,16 +224,17 @@ def _cmd_perf(args):
     results = []
     for name in args.scenario or ["fleet-8"]:
         for queue in args.queue or [None]:
-            for workers in args.workers or [None]:
-                try:
-                    result = run_perf(name, seed=args.seed,
-                                      profile=not args.no_profile,
-                                      top=args.top, workers=workers,
-                                      queue=queue)
-                except ValueError as exc:
-                    raise SystemExit(str(exc)) from None
-                results.append(result)
-                print(format_result(result))
+            for pooling in args.pooling or [None]:
+                for workers in args.workers or [None]:
+                    try:
+                        result = run_perf(name, seed=args.seed,
+                                          profile=not args.no_profile,
+                                          top=args.top, workers=workers,
+                                          queue=queue, pooling=pooling)
+                    except ValueError as exc:
+                        raise SystemExit(str(exc)) from None
+                    results.append(result)
+                    print(format_result(result))
     if args.json:
         path = write_bench(results, args.out)
         print("wrote %s" % path)
@@ -409,6 +410,11 @@ def build_parser():
                    help="scheduler kind to time (repro.sim.queue); "
                         "repeatable to produce one BENCH row per kind "
                         "(default: the session default kind)")
+    p.add_argument("--pooling", action="append", default=None,
+                   choices=("on", "off"),
+                   help="object-pool mode to time (repro.sim.pool); "
+                        "repeatable to produce one BENCH row per mode "
+                        "(default: the session default mode)")
     p.add_argument("--workers", action="append", type=int, default=None,
                    help="process-pool size for the sharded scenarios; "
                         "repeatable to time several worker counts")

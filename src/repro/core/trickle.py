@@ -79,7 +79,7 @@ class TrickleReintegrator:
     def _run(self):
         period = self.config.daemon_period
         while True:
-            yield self.sim.timeout(period)
+            yield self.sim.sleep(period)
             venus = self.venus
             if venus.state.state is not VenusState.WRITE_DISCONNECTED:
                 continue
@@ -224,7 +224,7 @@ class TrickleReintegrator:
                           bytes=nbytes)
             # Between fragments, defer to foreground activity.
             while self.venus.foreground_ops > 0 and not self._draining:
-                yield self.sim.timeout(1.0)
+                yield self.sim.sleep(1.0)
 
     def _reintegrate_frozen(self, chunk, preshipped):
         venus = self.venus

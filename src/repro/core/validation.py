@@ -91,7 +91,7 @@ class RapidValidator:
         if self.cpu is not None:
             yield from self.cpu.use(cost)
         else:
-            yield self.sim.timeout(cost)
+            yield self.sim.sleep(cost)
 
     def validate_all(self):
         """Process body: revalidate every cached object.

@@ -83,7 +83,7 @@ class FaultInjector:
         for when, _seq, label, fn in steps:
             delay = when - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
             fn()
             self.log.append((self.sim.now, label))
 

@@ -9,7 +9,6 @@ slightly slower while a transfer is in progress — the few-percent
 drift visible across Figure 12's columns.
 """
 
-from repro.sim.events import Timeout
 from repro.sim.resources import Lock
 
 
@@ -19,7 +18,10 @@ class HostCpu:
     def __init__(self, sim, host):
         self.sim = sim
         self.host = host
-        self._lock = Lock(sim)
+        # Pooled: both the acquire event and the slice timeout below
+        # run once per packet fleet-wide and are always yielded
+        # inline, the exact transient shape the object pool recycles.
+        self._lock = Lock(sim, pooled=True)
         self.busy_seconds = 0.0
 
     def use(self, seconds):
@@ -29,8 +31,6 @@ class HostCpu:
         yield self._lock.acquire()
         try:
             self.busy_seconds += seconds
-            # sim.timeout() without the factory call: this yield runs
-            # once per packet sent or received, fleet-wide.
-            yield Timeout(self.sim, seconds)
+            yield self.sim.sleep(seconds)
         finally:
             self._lock.release()

@@ -19,15 +19,33 @@ class Socket:
         """Send a datagram; fire-and-forget, may be lost or dropped."""
         if self.closed:
             raise RuntimeError("socket is closed")
-        datagram = Datagram(
-            src=self.node, src_port=self.port,
-            dst=dst, dst_port=dst_port,
-            payload=payload, size=size)
+        pool = self.network.sim._pool
+        if pool is not None:
+            datagram = pool.datagram(self.node, self.port,
+                                     dst, dst_port, payload, size)
+        else:
+            datagram = Datagram(
+                src=self.node, src_port=self.port,
+                dst=dst, dst_port=dst_port,
+                payload=payload, size=size)
         self.network.transmit(datagram)
 
     def recv(self):
         """Event that fires with the next datagram delivered here."""
         return self._inbox.get()
+
+    def release(self, datagram):
+        """Return a received datagram's wrapper to the object pool.
+
+        Receive loops call this once they have extracted ``src`` and
+        ``payload`` and will not touch the wrapper again.  Optional —
+        an unreleased wrapper just falls to the garbage collector —
+        and safe for directly constructed datagrams, which are never
+        pooled.
+        """
+        pool = self.network.sim._pool
+        if pool is not None:
+            pool.recycle_datagram(datagram)
 
     def pending(self):
         """Number of datagrams queued for recv."""
@@ -38,8 +56,12 @@ class Socket:
         self.network._unbind(self)
 
     def _deliver(self, datagram):
-        if not self.closed:
-            self._inbox.put(datagram)
+        if self.closed:
+            pool = self.network.sim._pool
+            if pool is not None:
+                pool.recycle_datagram(datagram)
+            return
+        self._inbox.put(datagram)
 
 
 class Network:
@@ -93,7 +115,11 @@ class Network:
     def transmit(self, datagram):
         link = self.link_between(datagram.src, datagram.dst)
         if link is None:
-            return  # no route: silently dropped
+            # No route: silently dropped, like IP.
+            pool = self.sim._pool
+            if pool is not None:
+                pool.recycle_datagram(datagram)
+            return
         link.send(datagram)
 
     def _deliver(self, datagram):

@@ -36,9 +36,10 @@ from repro.perf.scenarios import (
     run_macro_scenario,
 )
 from repro.sim import kernel
+from repro.sim.pool import default_pooling, use_pooling
 from repro.sim.queue import default_kind, use_kind
 
-BENCH_SCHEMA = "repro.perf/4"
+BENCH_SCHEMA = "repro.perf/5"
 
 
 def peak_rss_kb():
@@ -106,6 +107,7 @@ class PerfResult:
     sim_seconds_per_wall_second: float
     simulators: int
     queue: str = "heap"     # scheduler kind (repro.sim.queue)
+    pooling: str = "on"     # object-pool mode (repro.sim.pool)
     workers: int = 0        # 0 = single-process scenario
     max_rss_kb: int = 0     # peak RSS attributable to this row
     detail: dict = field(default_factory=dict)
@@ -122,6 +124,7 @@ class PerfResult:
             "sim_seconds_per_wall_second": self.sim_seconds_per_wall_second,
             "simulators": self.simulators,
             "queue": self.queue,
+            "pooling": self.pooling,
             "workers": self.workers,
             "max_rss_kb": self.max_rss_kb,
             "detail": self.detail,
@@ -131,7 +134,8 @@ class PerfResult:
         return row
 
 
-def run_perf(name, seed=0, profile=True, top=12, workers=None, queue=None):
+def run_perf(name, seed=0, profile=True, top=12, workers=None, queue=None,
+             pooling=None):
     """Measure macro-scenario ``name``; returns a :class:`PerfResult`.
 
     ``queue`` selects the scheduler kind (:mod:`repro.sim.queue`) the
@@ -142,6 +146,13 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None, queue=None):
     Schedulers are schedule-identical by contract (the golden digests
     enforce it), so rows differing only in ``queue`` measure the same
     simulation.
+
+    ``pooling`` selects the object-pool mode (:mod:`repro.sim.pool`)
+    the same way: installed as the session default and mirrored into
+    ``REPRO_POOL`` for the run's duration, so workers and subprocesses
+    inherit it.  Pooling is schedule-identical by contract too, so
+    rows differing only in ``pooling`` measure the same schedule with
+    different allocation machinery.
 
     ``workers`` sizes the process pool for sharded scenarios (see
     :data:`repro.perf.scenarios.SHARDED_SCENARIOS`).  Their simulators
@@ -159,8 +170,9 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None, queue=None):
     """
     sharded = name in SHARDED_SCENARIOS
     kind = queue or default_kind()
+    pool_mode = pooling or default_pooling()
     gc_was_enabled = gc.isenabled()
-    with use_kind(kind):
+    with use_kind(kind), use_pooling(pool_mode):
         with KernelTally() as tally:
             gc.disable()
             try:
@@ -189,6 +201,7 @@ def run_perf(name, seed=0, profile=True, top=12, workers=None, queue=None):
         scenario=name,
         seed=seed,
         queue=kind,
+        pooling=pool_mode,
         wall_seconds=round(wall, 6),
         events=events,
         sim_seconds=round(sim_seconds, 6),
@@ -231,8 +244,8 @@ def write_bench(results, path="BENCH_perf.json"):
 def format_result(result):
     """Human-readable report for one :class:`PerfResult`."""
     lines = [
-        "scenario %s (seed %d, %s queue%s)"
-        % (result.scenario, result.seed, result.queue,
+        "scenario %s (seed %d, %s queue, pooling %s%s)"
+        % (result.scenario, result.seed, result.queue, result.pooling,
            ", %d worker(s)" % result.workers if result.workers else ""),
         "  wall           %10.3f s" % result.wall_seconds,
         "  events         %10d   (%s/sec)"

@@ -140,7 +140,11 @@ class Rpc2Endpoint:
             datagram = yield self.socket.recv()
             yield from self.cpu.use(self.host.recv_cost(datagram.size))
             self.liveness.heard_from(datagram.src)
-            self._dispatch(datagram.src, datagram.payload)
+            src, payload = datagram.src, datagram.payload
+            # The wrapper is dead once src/payload are extracted; hand
+            # it back to the pool before dispatch can suspend us.
+            self.socket.release(datagram)
+            self._dispatch(src, payload)
 
     def _observe_echo(self, peer, packet):
         echo = getattr(packet, "ts_echo", None)
@@ -337,7 +341,7 @@ class Rpc2Endpoint:
     def _expire_transfer(self, transfer_id, receiver, grace=300.0):
         """Drop transfer state after a grace period for late duplicates."""
         def expire():
-            yield self.sim.timeout(grace)
+            yield self.sim.sleep(grace)
             if receiver:
                 self._sftp_receivers.pop(transfer_id, None)
             else:

@@ -273,7 +273,7 @@ class SftpReceiver:
         """
         while not self.done.triggered:
             delay = max(4.0 * self._gap_ewma, 0.01)
-            yield self.sim.timeout(delay)
+            yield self.sim.sleep(delay)
             if self.done.triggered:
                 return
             idle = self.sim.now - self._last_data_at
@@ -286,7 +286,7 @@ class SftpReceiver:
     def _watch(self):
         """Abort the receive if the sender goes silent; re-ack stragglers."""
         while not self.done.triggered:
-            yield self.sim.timeout(self.IDLE_LIMIT / 4.0)
+            yield self.sim.sleep(self.IDLE_LIMIT / 4.0)
             if self.done.triggered:
                 return
             idle = self.sim.now - self._last_data_at

@@ -36,8 +36,9 @@ class _TcpReceiver:
             datagram = yield self.socket.recv()
             cost = self.host.recv_cost(datagram.size)
             if cost > 0:
-                yield self.sim.timeout(cost)
+                yield self.sim.sleep(cost)
             seq = datagram.payload["seq"]
+            self.socket.release(datagram)
             out_of_order = seq != self.next_expected
             self.received.add(seq)
             while self.next_expected in self.received:
@@ -94,8 +95,10 @@ class _TcpSender:
             datagram = yield self.socket.recv()
             cost = self.host.recv_cost(datagram.size)
             if cost > 0:
-                yield self.sim.timeout(cost)
-            self._acks.put(datagram.payload["ack"])
+                yield self.sim.sleep(cost)
+            ack = datagram.payload["ack"]
+            self.socket.release(datagram)
+            self._acks.put(ack)
 
     def run(self):
         self.sim.process(self._ack_pump(), name="tcp-ack-pump")

@@ -159,7 +159,7 @@ class CodaServer:
         return volume, volume.get(fid)
 
     def _h_getattr(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_fetch)
+        yield self.sim.sleep(self.costs.per_fetch)
         volume, vnode = self._vnode(args["fid"])
         if vnode is None:
             return {"error": "nofile"}
@@ -172,7 +172,7 @@ class CodaServer:
         results = {}
         reply_size = 8
         for fid, version in args["pairs"]:
-            yield self.sim.timeout(self.costs.per_object_validate)
+            yield self.sim.sleep(self.costs.per_object_validate)
             _volume, vnode = self._vnode(fid)
             if vnode is not None and vnode.version == version:
                 results[fid] = (True, None)
@@ -196,7 +196,7 @@ class CodaServer:
         # Canonical processing order: the reply timing must not depend
         # on how the client happened to assemble its stamp dict.
         for volid, stamp in sorted(args["stamps"].items()):
-            yield self.sim.timeout(self.costs.per_object_validate)
+            yield self.sim.sleep(self.costs.per_object_validate)
             try:
                 volume = self.registry.by_id(volid)
             except KeyError:
@@ -213,7 +213,7 @@ class CodaServer:
     def _h_get_volume_stamps(self, ctx, args):
         results = {}
         for volid in args["volumes"]:
-            yield self.sim.timeout(self.costs.per_object_validate)
+            yield self.sim.sleep(self.costs.per_object_validate)
             try:
                 volume = self.registry.by_id(volid)
             except KeyError:
@@ -223,7 +223,7 @@ class CodaServer:
         return SizedResult({"stamps": results}, 8 + 8 * len(results))
 
     def _h_fetch(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_fetch)
+        yield self.sim.sleep(self.costs.per_fetch)
         volume, vnode = self._vnode(args["fid"])
         if vnode is None:
             return {"error": "nofile"}
@@ -236,7 +236,7 @@ class CodaServer:
         return result, vnode.length
 
     def _h_store(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, vnode = self._vnode(args["fid"])
         if vnode is None:
             return {"error": "nofile"}
@@ -251,7 +251,7 @@ class CodaServer:
 
     def _h_make_object(self, ctx, args):
         """Create a file, directory, or symlink (connected mode)."""
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, parent = self._vnode(args["parent"])
         if parent is None or not parent.is_dir():
             return {"error": "nofile"}
@@ -275,7 +275,7 @@ class CodaServer:
 
     def _h_remove(self, ctx, args):
         """Unlink a file/symlink or remove an empty directory."""
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, parent = self._vnode(args["parent"])
         if parent is None:
             return {"error": "nofile"}
@@ -300,7 +300,7 @@ class CodaServer:
                 "volume_stamp": volume.stamp}
 
     def _h_rename(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, src_dir = self._vnode(args["parent"])
         if src_dir is None:
             return {"error": "nofile"}
@@ -321,7 +321,7 @@ class CodaServer:
         return {"volume_stamp": volume.stamp}
 
     def _h_setattr(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, vnode = self._vnode(args["fid"])
         if vnode is None:
             return {"error": "nofile"}
@@ -334,7 +334,7 @@ class CodaServer:
         return {"version": vnode.version, "volume_stamp": volume.stamp}
 
     def _h_link(self, ctx, args):
-        yield self.sim.timeout(self.costs.per_operation)
+        yield self.sim.sleep(self.costs.per_operation)
         volume, parent = self._vnode(args["parent"])
         _vol2, vnode = self._vnode(args["fid"])
         if parent is None or vnode is None:
@@ -388,7 +388,7 @@ class CodaServer:
                     missing.append(record.seqno)
         if missing:
             return {"status": "missing_data", "missing": missing}
-        yield self.sim.timeout(self.costs.reintegration_fixed
+        yield self.sim.sleep(self.costs.reintegration_fixed
                                + self.costs.per_record * len(records))
         if fresh:
             # Versions the filtered duplicates already added count as

@@ -12,8 +12,16 @@ is ordered by ``(time, priority, sequence)`` and all randomness flows
 through named :class:`~repro.sim.rand.RandomStreams`.
 """
 
-from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    StaleObjectError,
+    Timeout,
+)
 from repro.sim.kernel import Simulator
+from repro.sim.pool import EventPool, default_pooling, use_pooling
 from repro.sim.process import Process
 from repro.sim.rand import RandomStreams
 from repro.sim.resources import Lock, Store
@@ -22,11 +30,15 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "EventPool",
     "Interrupt",
     "Lock",
     "Process",
     "RandomStreams",
     "Simulator",
+    "StaleObjectError",
     "Store",
     "Timeout",
+    "default_pooling",
+    "use_pooling",
 ]

@@ -4,7 +4,9 @@ from heapq import heappop
 from itertools import count
 
 from repro.obs.observatory import NULL_OBS
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, URGENT, _PENDING
+from repro.sim.events import (
+    AllOf, AnyOf, Event, Timeout, URGENT, _PENDING, _RECYCLED)
+from repro.sim.pool import EventPool, FREE_LIST_CAP, make_pool
 from repro.sim.process import Process
 from repro.sim.queue import CalendarQueue, HeapQueue, make_queue
 
@@ -27,15 +29,27 @@ class Simulator:
     observatory by default, replaced by ``Observatory(sim)`` when a
     run is instrumented.  Observation never schedules events, so it
     cannot perturb the schedule.
+
+    ``pooling`` selects the object-pool kind (:mod:`repro.sim.pool`):
+    ``"on"``, ``"off"``, a registered kind name, a factory, or None
+    for the module default (``REPRO_POOL``).  Pools are
+    schedule-identical by construction — every allocation primitive
+    consumes the same sequence numbers at the same program points as
+    direct allocation — which the differential harness's kind ×
+    pooling grid verifies per dispatch.
     """
 
-    def __init__(self, start_time=0.0, queue=None):
+    def __init__(self, start_time=0.0, queue=None, pooling=None):
         self.now = float(start_time)
         self._queue = make_queue(queue, self.now)
         # Bound once: the trigger sites in events.py/process.py push
         # through this to reach the scheduler without a second
         # attribute hop per event.
         self._push = self._queue.push
+        #: The event/packet pool, or None when pooling is off.  Only
+        #: the kernel and net layers may call its alloc/recycle
+        #: primitives (lint rule SIM002).
+        self._pool = make_pool(pooling, self)
         self._sequence = count()
         self._active_process = None
         self.obs = NULL_OBS
@@ -59,6 +73,21 @@ class Simulator:
     def timeout(self, delay, value=None):
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay):
+        """A transient delay event: yield it directly, never retain it.
+
+        Pooled when pooling is on (recycled the moment it dispatches),
+        a plain :class:`Timeout` otherwise — either way the schedule
+        tuple is identical.  Use :meth:`timeout` instead whenever the
+        event is stored, composed (``any_of``/``all_of``), or
+        inspected after it fires: a slept-on event is dead once the
+        sleeper resumes.
+        """
+        pool = self._pool
+        if pool is not None:
+            return pool.sleep(delay)
+        return Timeout(self, delay)
 
     def process(self, generator, name=None, owner=None):
         """Start ``generator`` as a new :class:`Process`.
@@ -110,6 +139,10 @@ class Simulator:
         self._push((self.now + delay, priority, next(self._sequence), event))
 
     def _call_soon(self, callback, *args):
+        pool = self._pool
+        if pool is not None:
+            pool.stub(lambda _evt: callback(*args))
+            return
         # An inlined stub.succeed(): the stub is born triggered.
         stub = Event(self)
         stub.callbacks.append(lambda _evt: callback(*args))
@@ -130,6 +163,8 @@ class Simulator:
             obs.metrics.counter("sim.events_dispatched").inc()
             obs.metrics.gauge("sim.queue_depth").set(len(self._queue))
         event._process()
+        if event._recycle:
+            self._pool.recycle(event)
 
     def peek(self):
         """Time of the next scheduled event, or None if the queue is empty."""
@@ -155,11 +190,20 @@ class Simulator:
             # The caller observes this event's outcome (we re-raise
             # failures below), so it never counts as unhandled.
             stop_event.defuse()
+            # A pooled stop event must survive dispatch un-reset: the
+            # loop below reads ``processed`` and ``_value`` after it
+            # runs, and a recycled event would reset ``processed`` and
+            # spin forever.  Un-marking it simply leaks the object to
+            # the garbage collector.
+            stop_event._recycle = False
             while not stop_event.processed:
                 if not self._queue:
                     raise RuntimeError(
                         "simulation ran dry before %r triggered" % (until,))
                 self.step()
+            pool = self._pool
+            if pool is not None and self.obs.enabled:
+                pool.publish(self.obs.metrics)
             if stop_event._ok is False:
                 stop_event.defuse()
                 raise stop_event._value
@@ -167,6 +211,22 @@ class Simulator:
 
         deadline = float("inf") if until is None else float(until)
         queue_obj = self._queue
+        pool = self._pool
+        # Bound once per run: the recycle hook in the loops below costs
+        # one slot load and a predictable branch per dispatch.  Only
+        # pool primitives ever set ``_recycle``, so ``recycle`` cannot
+        # be None when the branch is taken.  The fast loops inline the
+        # recycle body (one call frame per transient event is the
+        # difference between pooling winning and losing on fleet-64);
+        # a pool subclass that overrides ``recycle`` — the planted-bug
+        # fixtures do — keeps the call instead.  ``pool.recycle`` is
+        # the readable reference semantics for the inlined block.
+        recycle = None if pool is None else pool.recycle
+        if pool is not None and type(pool).recycle is EventPool.recycle:
+            free_events = pool._free_events
+            free_timeouts = pool._free_timeouts
+        else:
+            free_events = free_timeouts = None
         if "step" in self.__dict__:
             # An instance-level step override (the obs schedule probe
             # wraps it to log every dispatch) must keep seeing each
@@ -210,6 +270,37 @@ class Simulator:
                         dispatch_counter.inc()
                         depth_gauge.set(len(queue))
                     event._process()
+                    if event._recycle:
+                        if free_timeouts is not None:
+                            # pool.recycle(event), inlined — see that
+                            # method for the commented reference
+                            # semantics.
+                            if event.callbacks:
+                                event.callbacks.clear()
+                            event._value = _RECYCLED
+                            event._ok = None
+                            event._processed = False
+                            event._defused = False
+                            event._recycle = False
+                            event._gen += 1
+                            cls = type(event)
+                            if cls is Timeout:
+                                event._pending_value = None
+                                if len(free_timeouts) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_timeouts.append(event)
+                                else:
+                                    pool.dropped += 1
+                            elif cls is Event:
+                                if len(free_events) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_events.append(event)
+                                else:
+                                    pool.dropped += 1
+                            else:
+                                pool.dropped += 1
+                        else:
+                            recycle(event)
             finally:
                 self.dispatched += done
         elif type(queue_obj) is CalendarQueue:
@@ -254,6 +345,37 @@ class Simulator:
                         dispatch_counter.inc()
                         depth_gauge.set(len(queue_obj))
                     event._process()
+                    if event._recycle:
+                        if free_timeouts is not None:
+                            # pool.recycle(event), inlined — see that
+                            # method for the commented reference
+                            # semantics.
+                            if event.callbacks:
+                                event.callbacks.clear()
+                            event._value = _RECYCLED
+                            event._ok = None
+                            event._processed = False
+                            event._defused = False
+                            event._recycle = False
+                            event._gen += 1
+                            cls = type(event)
+                            if cls is Timeout:
+                                event._pending_value = None
+                                if len(free_timeouts) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_timeouts.append(event)
+                                else:
+                                    pool.dropped += 1
+                            elif cls is Event:
+                                if len(free_events) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_events.append(event)
+                                else:
+                                    pool.dropped += 1
+                            else:
+                                pool.dropped += 1
+                        else:
+                            recycle(event)
             finally:
                 self.dispatched += done
         else:
@@ -284,8 +406,41 @@ class Simulator:
                         dispatch_counter.inc()
                         depth_gauge.set(len(queue_obj))
                     event._process()
+                    if event._recycle:
+                        if free_timeouts is not None:
+                            # pool.recycle(event), inlined — see that
+                            # method for the commented reference
+                            # semantics.
+                            if event.callbacks:
+                                event.callbacks.clear()
+                            event._value = _RECYCLED
+                            event._ok = None
+                            event._processed = False
+                            event._defused = False
+                            event._recycle = False
+                            event._gen += 1
+                            cls = type(event)
+                            if cls is Timeout:
+                                event._pending_value = None
+                                if len(free_timeouts) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_timeouts.append(event)
+                                else:
+                                    pool.dropped += 1
+                            elif cls is Event:
+                                if len(free_events) < FREE_LIST_CAP:
+                                    pool.recycled += 1
+                                    free_events.append(event)
+                                else:
+                                    pool.dropped += 1
+                            else:
+                                pool.dropped += 1
+                        else:
+                            recycle(event)
             finally:
                 self.dispatched += done
+        if pool is not None and self.obs.enabled:
+            pool.publish(self.obs.metrics)
         if until is not None:
             self.now = max(self.now, deadline)
         return None

@@ -1,0 +1,525 @@
+"""Object pools and batched link delivery for the kernel hot path.
+
+Fleet-scale runs create millions of short-lived kernel objects —
+process bootstrap stubs, interrupt kicks, CPU-slice and sleep
+timeouts, per-packet delivery timeouts, and the datagrams themselves.
+PR 9's profiles showed the scheduler is only ~5% of runtime; the rest
+of the headroom named by the ROADMAP is exactly this allocation
+churn.  This module removes it two ways:
+
+* **Free lists** (:class:`EventPool`).  Transient events are drawn
+  from per-class free lists and returned right after the kernel
+  dispatches them (*recycle-on-dispatch*: the kernel run loops check
+  ``event._recycle`` after ``event._process()``).  A recycle fully
+  resets the object, bumps its generation counter, and parks the
+  ``_RECYCLED`` sentinel in ``_value`` so any stale reference that
+  later calls ``succeed``/``fail``/``subscribe``/``value`` raises
+  :class:`~repro.sim.events.StaleObjectError` instead of corrupting
+  the schedule.  Only *transient* events are pooled — ones whose
+  owner provably never touches them after dispatch.  Public composable
+  events (``sim.timeout()``, ``sim.event()``) are never pooled:
+  transports read ``.triggered`` and ``.value`` long after dispatch.
+
+* **Batched delivery** (:class:`DeliveryLane`).  Without pooling, N
+  packets in flight on one link direction are N live ``Timeout``
+  objects occupying N scheduler slots.  A lane keeps the whole burst
+  in one deque and holds **at most one queued wakeup per direction**,
+  re-armed as each packet lands.  Delivery *instants* are observable
+  (a receiver resumes at each arrival), so the lane never coalesces
+  distinct instants — what batching removes is the N-deep queue
+  occupancy and the N allocations, not the dispatches.
+
+Schedule identity is by construction, not by luck: the lane draws the
+wakeup's sequence number at **send time** — the exact point the
+unpooled code allocates its per-packet timeout — and pins the wakeup
+to the same absolute arrival float the unpooled expression produces.
+Every scheduler entry is therefore tuple-identical ``(when, priority,
+seq)`` between pooling on and off, ties included, which the
+differential harness (``tests/sim/differential.py``) verifies per
+dispatch and the 11 golden digests pin end to end.
+
+The default is chosen by ``REPRO_POOL`` (``on`` unless set) and
+mirrored back into the environment by :func:`set_default_pooling` so
+fleetd/ckpt worker processes inherit the parent's choice, exactly
+like ``REPRO_QUEUE``.
+"""
+
+import os
+from collections import deque
+
+from repro.sim.events import (
+    Event,
+    NORMAL,
+    StaleObjectError,  # noqa: F401  (re-exported: pool API surface)
+    Timeout,
+    URGENT,
+    _PENDING,
+    _RECYCLED,
+)
+
+#: Per-class free-list cap.  Beyond this, recycled objects are dropped
+#: to the garbage collector — a backstop against a pathological burst
+#: pinning memory forever, far above steady-state needs (one lane
+#: wakeup per link direction, a handful of stubs per instant).
+FREE_LIST_CAP = 4096
+
+
+class EventPool:
+    """Free lists for transient kernel objects, owned by one simulator.
+
+    Allocation primitives (``stub``/``kick``/``acquire_event``/
+    ``sleep``/``timeout_at``/``datagram``) are the *only* way pooled
+    objects are born, and :meth:`recycle`/:meth:`recycle_datagram` the
+    only way they return.  The determinism linter's SIM002 rule
+    confines calls to these primitives to the kernel and net layers.
+
+    Every primitive consumes ``next(sim._sequence)`` (and datagram
+    idents) at exactly the same program points as the unpooled code,
+    so pooling never shifts a sequence number.
+    """
+
+    kind = "on"
+
+    __slots__ = ("sim", "_free_events", "_free_timeouts",
+                 "_free_datagrams", "_datagram_cls", "_datagram_ids",
+                 "event_allocs", "event_reuses", "timeout_allocs",
+                 "timeout_reuses", "datagram_allocs", "datagram_reuses",
+                 "recycled", "dropped")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._free_events = []
+        self._free_timeouts = []
+        self._free_datagrams = []
+        self._datagram_cls = None
+        self._datagram_ids = None
+        self.event_allocs = 0
+        self.event_reuses = 0
+        self.timeout_allocs = 0
+        self.timeout_reuses = 0
+        self.datagram_allocs = 0
+        self.datagram_reuses = 0
+        self.recycled = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Raw takes: a fully reset object of the right class, not yet
+    # scheduled.  Free-listed objects were reset at recycle time, so
+    # the reuse path only flips the sentinel back to pending.
+    #
+    # The allocation primitives below inline these bodies instead of
+    # calling them: a pooled allocation that costs more Python frames
+    # than ``Timeout(sim, delay)`` is slower than the allocator it
+    # replaces (cProfile on fleet-32 showed exactly that), and the
+    # take is two lines.  These methods remain the readable reference
+    # semantics and the unit-test probe surface.
+
+    def _take_event(self):
+        free = self._free_events
+        if free:
+            self.event_reuses += 1
+            event = free.pop()
+            event._value = _PENDING
+            return event
+        self.event_allocs += 1
+        return Event(self.sim)
+
+    def _take_timeout(self):
+        free = self._free_timeouts
+        if free:
+            self.timeout_reuses += 1
+            timeout = free.pop()
+            timeout._value = _PENDING
+            return timeout
+        self.timeout_allocs += 1
+        return self._fresh_timeout()
+
+    def _fresh_timeout(self):
+        # Timeout.__init__ schedules; build the shell directly instead.
+        timeout = Timeout.__new__(Timeout)
+        timeout.sim = self.sim
+        timeout.callbacks = []
+        timeout._value = _PENDING
+        timeout._ok = None
+        timeout._processed = False
+        timeout._defused = False
+        timeout._gen = 0
+        timeout._recycle = False
+        timeout.delay = 0.0
+        timeout._pending_value = None
+        return timeout
+
+    # ------------------------------------------------------------------
+    # Allocation primitives
+
+    def stub(self, callback):
+        """A born-triggered URGENT event running ``callback(event)``.
+
+        The pooled twin of the inlined bootstrap/_call_soon stubs:
+        dispatched once at the current instant, then auto-recycled.
+        """
+        free = self._free_events
+        if free:                         # _take_event(), inlined
+            self.event_reuses += 1
+            event = free.pop()
+        else:
+            self.event_allocs += 1
+            event = Event(self.sim)
+        event.callbacks.append(callback)
+        event._ok = True
+        event._value = None
+        event._recycle = True
+        sim = self.sim
+        sim._push((sim.now, URGENT, next(sim._sequence), event))
+        return event
+
+    def kick(self, callback, exception):
+        """A pre-failed, pre-defused URGENT event (interrupt delivery)."""
+        free = self._free_events
+        if free:                         # _take_event(), inlined
+            self.event_reuses += 1
+            event = free.pop()
+        else:
+            self.event_allocs += 1
+            event = Event(self.sim)
+        event.callbacks.append(callback)
+        event._ok = False
+        event._value = exception
+        event._defused = True
+        event._recycle = True
+        sim = self.sim
+        sim._push((sim.now, URGENT, next(sim._sequence), event))
+        return event
+
+    def acquire_event(self):
+        """A pending event for a pooled ``Lock.acquire``.
+
+        Not scheduled here: the lock either succeeds it immediately or
+        parks it on the waiter queue.  Auto-recycled after dispatch,
+        so only locks whose acquire events are yielded inline may use
+        it (``Lock(sim, pooled=True)``).
+        """
+        free = self._free_events
+        if free:                         # _take_event(), inlined
+            self.event_reuses += 1
+            event = free.pop()
+            event._value = _PENDING
+        else:
+            self.event_allocs += 1
+            event = Event(self.sim)
+        event._recycle = True
+        return event
+
+    def sleep(self, delay):
+        """A pooled transient timeout ``delay`` seconds from now.
+
+        The schedule tuple is identical to ``Timeout(sim, delay)``.
+        The caller must yield it directly and never retain, compose,
+        or re-inspect it after it fires — it is recycled on dispatch.
+        """
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        free = self._free_timeouts
+        if free:                         # _take_timeout(), inlined
+            self.timeout_reuses += 1
+            timeout = free.pop()
+            timeout._value = _PENDING
+        else:
+            self.timeout_allocs += 1
+            timeout = self._fresh_timeout()
+        timeout.delay = delay
+        timeout._recycle = True
+        sim = self.sim
+        sim._push((sim.now + delay, NORMAL, next(sim._sequence), timeout))
+        return timeout
+
+    def timeout_at(self, when, seq):
+        """A pooled timeout pinned to absolute time ``when``.
+
+        The caller supplies the sequence number, drawn at the instant
+        the unpooled code would have allocated its timeout — this is
+        what lets a :class:`DeliveryLane` re-arm later yet push the
+        byte-identical ``(when, NORMAL, seq)`` entry.
+        """
+        free = self._free_timeouts
+        if free:                         # _take_timeout(), inlined
+            self.timeout_reuses += 1
+            timeout = free.pop()
+            timeout._value = _PENDING
+        else:
+            self.timeout_allocs += 1
+            timeout = self._fresh_timeout()
+        sim = self.sim
+        timeout.delay = when - sim.now
+        timeout._recycle = True
+        sim._push((when, NORMAL, seq, timeout))
+        return timeout
+
+    def delivery_lane(self, deliver):
+        """A batched-delivery lane feeding ``deliver(item)`` per packet."""
+        return DeliveryLane(self, deliver)
+
+    # ------------------------------------------------------------------
+    # Datagrams
+
+    def datagram(self, src, src_port, dst, dst_port, payload, size):
+        """A pooled :class:`~repro.net.packet.Datagram`.
+
+        Draws the same global ident counter as direct construction, so
+        packet numbering is independent of pooling.
+        """
+        if self._datagram_cls is None:
+            # Bound lazily: repro.sim must stay importable without
+            # repro.net, and the first packet pays the lookup once.
+            from repro.net import packet
+            self._datagram_cls = packet.Datagram
+            self._datagram_ids = packet._datagram_ids
+        if size <= 0:
+            raise ValueError("datagram size must be positive: %r" % size)
+        free = self._free_datagrams
+        if free:
+            self.datagram_reuses += 1
+            dgram = free.pop()
+            dgram.src = src
+            dgram.src_port = src_port
+            dgram.dst = dst
+            dgram.dst_port = dst_port
+            dgram.payload = payload
+            dgram.size = size
+            dgram.ident = next(self._datagram_ids)
+            return dgram
+        self.datagram_allocs += 1
+        return self._datagram_cls(
+            src=src, src_port=src_port, dst=dst, dst_port=dst_port,
+            payload=payload, size=size, pooled=True)
+
+    def recycle_datagram(self, dgram):
+        """Return a pool-born datagram to the free list.
+
+        A no-op for directly constructed datagrams, so drop paths and
+        release points may call this unconditionally.
+        """
+        if not dgram.pooled:
+            return
+        dgram.payload = None
+        dgram.gen += 1
+        free = self._free_datagrams
+        if len(free) < FREE_LIST_CAP:
+            self.recycled += 1
+            free.append(dgram)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Recycling
+
+    def recycle(self, event):
+        """Full-reset ``event`` and return it to its free list.
+
+        Called by the kernel right after dispatch for events born with
+        ``_recycle`` set.  The generation bump plus the ``_RECYCLED``
+        sentinel make any later touch through a stale reference a hard
+        error rather than a silent schedule change.
+        """
+        # Dispatch leaves the callback list empty: _process swaps in a
+        # fresh list before running callbacks, and mid-dispatch
+        # subscribes route through _call_soon, never the list.  The
+        # truth-test keeps the full-reset guarantee without paying a
+        # clear() call per event on the (always-taken) empty path.
+        if event.callbacks:
+            event.callbacks.clear()
+        event._value = _RECYCLED
+        event._ok = None
+        event._processed = False
+        event._defused = False
+        event._recycle = False
+        event._gen += 1
+        cls = type(event)
+        if cls is Timeout:
+            event._pending_value = None
+            free = self._free_timeouts
+        elif cls is Event:
+            free = self._free_events
+        else:
+            # Subclasses (Process, Condition) are never marked for
+            # recycling; reaching here means a foreign event was
+            # flagged by hand — drop it rather than mix classes.
+            self.dropped += 1
+            return
+        if len(free) < FREE_LIST_CAP:
+            self.recycled += 1
+            free.append(event)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def stats(self):
+        """Plain-int counters (cheap enough to read mid-run)."""
+        return {
+            "event_allocs": self.event_allocs,
+            "event_reuses": self.event_reuses,
+            "timeout_allocs": self.timeout_allocs,
+            "timeout_reuses": self.timeout_reuses,
+            "datagram_allocs": self.datagram_allocs,
+            "datagram_reuses": self.datagram_reuses,
+            "recycled": self.recycled,
+            "dropped": self.dropped,
+            "free_events": len(self._free_events),
+            "free_timeouts": len(self._free_timeouts),
+            "free_datagrams": len(self._free_datagrams),
+        }
+
+    def publish(self, metrics):
+        """Mirror the counters into obs gauges (pull-style).
+
+        Called from the kernel's run epilogue when an observatory is
+        installed; gauges never touch the trace timeline, so the
+        golden digests are unaffected.
+        """
+        for name, value in self.stats().items():
+            metrics.gauge("pool.%s" % name).set(value)
+
+
+class DeliveryLane:
+    """One link direction's in-flight burst behind a single wakeup.
+
+    ``schedule(due, item)`` is called at send time with the absolute
+    arrival instant; arrivals on a FIFO direction are non-decreasing,
+    and the deque preserves exact order regardless.  Each wakeup
+    delivers exactly one packet and re-arms for the next, so every
+    arrival instant keeps its own dispatch — see the module docstring
+    for why that is required for schedule identity.
+    """
+
+    __slots__ = ("pool", "sim", "deliver", "_pending", "_armed")
+
+    def __init__(self, pool, deliver):
+        self.pool = pool
+        self.sim = pool.sim
+        self.deliver = deliver
+        self._pending = deque()
+        self._armed = False
+
+    def __len__(self):
+        return len(self._pending)
+
+    def schedule(self, due, item):
+        """Queue ``item`` for delivery at absolute time ``due``."""
+        # The sequence draw happens here, at send time, exactly where
+        # the unpooled per-packet Timeout would consume it.
+        sim = self.sim
+        seq = next(sim._sequence)
+        self._pending.append((due, seq, item))
+        if not self._armed:
+            self._arm()
+
+    def _arm(self):
+        due, seq, _item = self._pending[0]
+        self._armed = True
+        # pool.timeout_at(due, seq), inlined: this runs once per
+        # delivered packet, and the wakeup must cost no more frames
+        # than the per-packet Timeout it replaces.
+        pool = self.pool
+        free = pool._free_timeouts
+        if free:
+            pool.timeout_reuses += 1
+            wakeup = free.pop()
+            wakeup._value = _PENDING
+        else:
+            pool.timeout_allocs += 1
+            wakeup = pool._fresh_timeout()
+        sim = self.sim
+        wakeup.delay = due - sim.now
+        wakeup._recycle = True
+        wakeup.callbacks.append(self._fire)
+        sim._push((due, NORMAL, seq, wakeup))
+
+    def _fire(self, _event):
+        _due, _seq, item = self._pending.popleft()
+        self._armed = False
+        self.deliver(item)
+        if self._pending and not self._armed:
+            self._arm()
+
+
+# ---------------------------------------------------------------------------
+# Registry and default pooling
+
+
+#: pooling kind -> factory(sim) -> pool instance (or None for "off").
+#: Tests register additional kinds (including deliberately broken
+#: ones; see ``tests/sim/broken_pools.py``) here.
+POOL_KINDS = {
+    "on": EventPool,
+    "off": None,
+}
+
+#: The pooling ``Simulator()`` uses by default.  Pooling became the
+#: default once every equivalence tier (differential kind × pooling
+#: grid, property oracle suite, all 11 golden digests) was green; set
+#: ``REPRO_POOL=off`` to fall back to per-send allocation.
+_default_pooling = os.environ.get("REPRO_POOL", "on")
+
+
+def register_pooling(kind, factory):
+    """Register a pool ``factory(sim)`` under ``kind``."""
+    POOL_KINDS[kind] = factory
+
+
+def default_pooling():
+    """The pooling kind built when ``Simulator(pooling=None)``."""
+    return _default_pooling
+
+
+def set_default_pooling(kind):
+    """Set the default pooling kind; returns the previous one.
+
+    Also mirrors the choice into ``REPRO_POOL`` so worker processes
+    spawned after the call (fleetd/ckpt pools) build the same kind.
+    """
+    global _default_pooling
+    if kind not in POOL_KINDS:
+        raise ValueError("unknown pooling kind %r (have %s)"
+                         % (kind, ", ".join(sorted(POOL_KINDS))))
+    previous = _default_pooling
+    _default_pooling = kind
+    os.environ["REPRO_POOL"] = kind
+    return previous
+
+
+class use_pooling:
+    """Context manager: run a block under a different default pooling."""
+
+    def __init__(self, kind):
+        self.kind = kind
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_default_pooling(self.kind)
+        return self
+
+    def __exit__(self, *exc_info):
+        set_default_pooling(self._previous)
+        return False
+
+
+def make_pool(kind, sim):
+    """Build the pool for ``kind`` (default: :func:`default_pooling`).
+
+    Returns None for the "off" kind — the kernel treats a None pool as
+    plain per-send allocation.  ``kind`` may also be a factory
+    callable taking the simulator (the differential harness injects
+    broken pools this way).
+    """
+    if kind is None:
+        kind = _default_pooling
+    if not isinstance(kind, str):
+        return kind(sim)
+    try:
+        factory = POOL_KINDS[kind]
+    except KeyError:
+        raise ValueError("unknown pooling kind %r (have %s)"
+                         % (kind, ", ".join(sorted(POOL_KINDS)))) from None
+    return None if factory is None else factory(sim)

@@ -103,7 +103,7 @@ def _script_session(testbed, script):
             if step.op == "connect":
                 yield from venus.connect()
             elif step.op == "sleep":
-                yield sim.timeout(step.seconds)
+                yield sim.sleep(step.seconds)
             elif step.op == "write":
                 content = SyntheticContent(step.size, tag=step.tag)
                 yield from venus.write_file(step.path, content)

@@ -262,7 +262,7 @@ def _diurnal_life(sim, config, venus, private, shared, extra, rng, kind):
     """
     from repro.bench.fleet import _evict_volume, _read_something
 
-    yield sim.timeout(rng.uniform(0, 600))
+    yield sim.sleep(rng.uniform(0, 600))
     yield from venus.connect()
     mean_gap = DAY / (config.private_writes_per_day
                       + config.shared_writes_per_day
@@ -279,7 +279,7 @@ def _diurnal_life(sim, config, venus, private, shared, extra, rng, kind):
         hour = _hour_of_day(sim.now)
         if not config.work_start <= hour < config.work_end:
             gap /= max(config.off_hours_activity, 1e-6)
-        yield sim.timeout(gap)
+        yield sim.sleep(gap)
         counter += 1
         pick = rng.random() * total_weight
         try:
@@ -320,11 +320,11 @@ def _commute_process(sim, config, venus, link, rng, stats):
                       + rng.uniform(-600.0, 600.0))
             if depart <= sim.now:
                 continue
-            yield sim.timeout(depart - sim.now)
+            yield sim.sleep(depart - sim.now)
             link.set_up(False)
             venus.handle_disconnection()
             duration = commute * rng.uniform(0.8, 1.3)
-            yield sim.timeout(duration)
+            yield sim.sleep(duration)
             link.set_up(True)
             yield from venus.connect()
             stats["commutes"] += 1
@@ -332,7 +332,7 @@ def _commute_process(sim, config, venus, link, rng, stats):
         day += 1
         resume = day * DAY + config.work_start * 3600.0 - commute - 1_200.0
         if resume > sim.now:
-            yield sim.timeout(resume - sim.now)
+            yield sim.sleep(resume - sim.now)
 
 
 # ----------------------------------------------------------------------
@@ -459,10 +459,10 @@ def _storm_writer(sim, config, index, venus, link, mount, rng,
     """One writer's storm: disconnect, collide, reconnect, repair."""
     from repro.fs.content import SyntheticContent
 
-    yield sim.timeout(10.0 * index + rng.uniform(0.0, 20.0))
+    yield sim.sleep(10.0 * index + rng.uniform(0.0, 20.0))
     yield from venus.connect()
     for round_no in range(config.rounds):
-        yield sim.timeout(rng.uniform(10.0, 60.0))
+        yield sim.sleep(rng.uniform(10.0, 60.0))
         link.set_up(False)
         venus.handle_disconnection()
         for write_no in range(config.writes_per_round):
@@ -475,13 +475,13 @@ def _storm_writer(sim, config, index, venus, link, mount, rng,
                 yield from venus.write_file(path, content)
             except Exception:
                 pass
-            yield sim.timeout(rng.uniform(5.0, 30.0))
+            yield sim.sleep(rng.uniform(5.0, 30.0))
         remaining = (config.round_minutes * 60.0
                      * rng.uniform(0.8, 1.2))
-        yield sim.timeout(remaining)
+        yield sim.sleep(remaining)
         link.set_up(True)
         yield from venus.connect()
-        yield sim.timeout(config.drain_seconds + rng.uniform(0.0, 30.0))
+        yield sim.sleep(config.drain_seconds + rng.uniform(0.0, 30.0))
         for conflict in venus.list_conflicts():
             if conflict.resolved is not None:
                 continue
@@ -595,7 +595,7 @@ def run_doc_archive(spec, master, observatory=None, schedule_log=None,
         yield from venus.hoard_walk()
         notes = 0
         for read_no in range(config.reads):
-            yield sim.timeout(session_rng.expovariate(
+            yield sim.sleep(session_rng.expovariate(
                 1.0 / config.think_seconds))
             if (session_rng.random() < config.locality
                     and config.hoarded_containers):
@@ -615,7 +615,7 @@ def run_doc_archive(spec, master, observatory=None, schedule_log=None,
                     "%s/c%02d/note%03d" % (mount, c_index, notes),
                     SyntheticContent(config.note_size,
                                      tag=("note", notes)))
-        yield sim.timeout(600.0)
+        yield sim.sleep(600.0)
 
     sim.run(sim.process(session()))
     if checker is not None:

@@ -897,7 +897,7 @@ class Venus:
         if not misses:
             return []
         if self.user.delay_seconds:
-            yield self.sim.timeout(self.user.delay_seconds)
+            yield self.sim.sleep(self.user.delay_seconds)
         additions = self.user.review_misses(misses)
         for path, priority, children in additions:
             self.hoard(path, priority, children=children)
@@ -1138,7 +1138,7 @@ class Venus:
         bw_probe_due = 0.0
         last_bw_samples = -1
         while True:
-            yield self.sim.timeout(config.probe_interval)
+            yield self.sim.sleep(config.probe_interval)
             state = self.state.state
             if state is VenusState.EMULATING:
                 yield from self.connect()
@@ -1172,7 +1172,7 @@ class Venus:
     def _walk_daemon(self):
         """Hoard walks "once every 10 minutes"."""
         while True:
-            yield self.sim.timeout(self.config.hoard_walk_interval)
+            yield self.sim.sleep(self.config.hoard_walk_interval)
             if self.state.state is VenusState.EMULATING:
                 continue
             try:

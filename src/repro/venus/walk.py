@@ -73,7 +73,7 @@ class HoardWalker:
         pending = [c for c in candidates if not c.preapproved]
         if pending and venus.state.state is VenusState.WRITE_DISCONNECTED:
             if venus.user.delay_seconds:
-                yield self.sim.timeout(venus.user.delay_seconds)
+                yield self.sim.sleep(venus.user.delay_seconds)
             ok_paths, stop_paths = venus.user.approve_fetches(candidates)
             venus.suppressed_fetches.update(stop_paths)
             report.suppressed += len(stop_paths)

@@ -2,10 +2,26 @@
 
 import pytest
 
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
 from repro.bench.common import make_testbed, populate_volume, warm_cache
 from repro.net import ETHERNET, MODEM
 from repro.sim import Simulator
 from repro.venus import VenusConfig
+
+# Deadline-safe defaults for every property suite.  Simulated time is
+# free but host time is not: a pinned worst-case example (say, a
+# quarter-megabyte SFTP store over a lossy 9.6 Kb/s link) can take
+# hundreds of wall milliseconds on a loaded CI box, which flakes
+# Hypothesis's per-example deadline and its too_slow health check even
+# though the test is fully deterministic.  Individual tests still set
+# max_examples; they inherit these safety rails from the profile.
+hypothesis_settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile("repro")
 
 
 @pytest.fixture

@@ -70,7 +70,11 @@ def test_loss_statistics_conserve_packets(seed, loss):
     assert stats.packets_delivered == len(delivered)
 
 
-@settings(max_examples=30, deadline=None)
+# max_examples only: the deadline-safe "repro" profile registered in
+# tests/conftest.py supplies deadline=None and suppresses the too_slow
+# health check, which the pinned worst-case example below used to flake
+# on loaded CI runners.
+@settings(max_examples=30)
 @given(st.integers(min_value=1, max_value=500_000),
        st.sampled_from([9_600.0, 64_000.0, 2e6, 10e6]),
        st.floats(min_value=0.0, max_value=0.05))

@@ -1,0 +1,232 @@
+"""Property-based equivalence: the pooled kernel vs the no-pooling oracle.
+
+The differential harness replays fixed scenarios; these properties
+search the space instead.  Every test runs the same randomly generated
+program twice — ``Simulator(pooling="on")`` and ``pooling="off"`` —
+and demands identical observable behaviour: the unpooled kernel is the
+oracle, so pooling can only ever be a transparent optimization.  On
+top of the oracle comparison, the pool's own invariants are checked on
+random allocation scripts: a recycled object is fully reset, a live
+object is never on a free list, and a stale touch is a hard
+generation-counter error, never a silent schedule change.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Datagram, Link
+from repro.sim import Interrupt, Simulator, StaleObjectError
+from repro.sim.events import _RECYCLED
+from repro.sim.resources import Lock
+
+# ---------------------------------------------------------------------------
+# Random kernel programs vs the no-pooling oracle
+
+# Delays drawn as multiples of 1/64 s: exact binary floats, so the
+# interesting case — many events tied at one instant, where only the
+# sequence number breaks the tie — comes up constantly instead of
+# almost never.
+ticks = st.integers(min_value=0, max_value=64).map(lambda n: n / 64.0)
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["sleep", "lock", "spawn", "interrupt"]),
+              ticks),
+    min_size=1, max_size=12)
+
+
+def run_program(script, pooling):
+    """Run one generated program; return its observable log."""
+    sim = Simulator(pooling=pooling)
+    log = []
+    # pooled=True is the production configuration; on an unpooled
+    # simulator it transparently falls back to plain events.
+    lock = Lock(sim, pooled=True)
+
+    def napper(idx):
+        try:
+            yield sim.sleep(1000.0)
+            log.append((sim.now, "overslept", idx))
+        except Interrupt as exc:
+            log.append((sim.now, "interrupted", idx, exc.cause))
+
+    def worker(idx, kind, delay):
+        if kind == "sleep":
+            yield sim.sleep(delay)
+            log.append((sim.now, "slept", idx))
+        elif kind == "lock":
+            yield sim.sleep(delay)
+            yield lock.acquire()
+            log.append((sim.now, "locked", idx))
+            yield sim.sleep(0.25)
+            log.append((sim.now, "unlocking", idx))
+            lock.release()
+        elif kind == "spawn":
+            yield sim.sleep(delay)
+            child = sim.process(worker(idx + 1000, "sleep", delay / 2),
+                                name="child-%d" % idx)
+            value = yield child
+            log.append((sim.now, "joined", idx, value))
+        elif kind == "interrupt":
+            victim = sim.process(napper(idx + 2000), name="napper-%d" % idx)
+            yield sim.sleep(delay)
+            victim.interrupt(cause=idx)
+            log.append((sim.now, "kicked", idx))
+
+    for idx, (kind, delay) in enumerate(script):
+        sim.process(worker(idx, kind, delay), name="w%d" % idx)
+    sim.run()
+    log.append((sim.now, "end"))
+    return log
+
+
+@settings(max_examples=60)
+@given(ops)
+def test_random_programs_match_the_unpooled_oracle(script):
+    """Sleep/lock/spawn/interrupt programs log identically either way.
+
+    This walks every pooled primitive through its production call
+    sites: sleep (pool.sleep), process bootstrap (pool.stub), process
+    interrupt (pool.kick), and pooled lock acquisition
+    (pool.acquire_event) — against the allocating oracle.
+    """
+    assert run_program(script, "on") == run_program(script, "off")
+
+
+# ---------------------------------------------------------------------------
+# Pool invariants on random allocation scripts
+
+delays = st.lists(ticks, min_size=1, max_size=30)
+
+
+@settings(max_examples=100)
+@given(delays, ticks)
+def test_recycled_objects_reset_and_live_objects_distinct(script, cutoff):
+    """Run a random batch of sleeps up to a random horizon.
+
+    Every dispatched timeout must be fully reset with its generation
+    bumped; every still-pending one must be untouched, absent from the
+    free lists, and a distinct object (live objects are never reused).
+    """
+    sim = Simulator(pooling="on")
+    pool = sim._pool
+    batch = [(pool.sleep(delay), delay, ) for delay in script]
+    gens = [timeout._gen for timeout, _ in batch]
+    # All allocated while live, so no aliasing is possible.
+    assert len({id(timeout) for timeout, _ in batch}) == len(batch)
+    horizon = sim.timeout(cutoff)   # public timeout: survives dispatch
+    sim.run(until=horizon)
+    free_ids = {id(timeout) for timeout in pool._free_timeouts}
+    for (timeout, delay), generation in zip(batch, gens):
+        if delay <= cutoff:
+            # Dispatched (pool sleeps beat the later-allocated horizon
+            # on ties) and therefore recycled.
+            assert timeout._value is _RECYCLED
+            assert timeout.callbacks == []
+            assert not timeout._recycle
+            assert timeout._gen == generation + 1
+        else:
+            # Still live: untouched, and never on a free list.
+            assert timeout._value is not _RECYCLED
+            assert timeout._gen == generation
+            assert id(timeout) not in free_ids
+
+
+@settings(max_examples=100)
+@given(delays)
+def test_generation_counters_catch_every_stale_touch(script):
+    """After a full run, every retained reference is a hard error."""
+    sim = Simulator(pooling="on")
+    pool = sim._pool
+    batch = [pool.sleep(delay) for delay in script]
+    gens = [timeout._gen for timeout in batch]
+    sim.run()
+    for timeout, generation in zip(batch, gens):
+        assert timeout._gen == generation + 1
+        for touch in (lambda: timeout.succeed(),
+                      lambda: timeout.fail(RuntimeError("late")),
+                      lambda: timeout.subscribe(lambda event: None),
+                      lambda: timeout.value):
+            try:
+                touch()
+            except StaleObjectError:
+                continue
+            raise AssertionError("stale touch went unnoticed: %r" % timeout)
+
+
+# ---------------------------------------------------------------------------
+# Batched delivery vs per-packet timeouts
+
+packet_plans = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5_000),   # size
+              ticks),                                      # gap before send
+    min_size=1, max_size=25)
+
+outages = st.one_of(
+    st.none(),
+    st.tuples(ticks,                                       # after
+              st.floats(min_value=0.05, max_value=3.0)))   # duration
+
+
+@settings(max_examples=60)
+@given(packet_plans,
+       st.floats(min_value=4_800.0, max_value=1e6),
+       st.floats(min_value=0.0, max_value=0.2),
+       st.floats(min_value=0.0, max_value=0.5),
+       st.integers(min_value=0, max_value=2**31),
+       outages)
+def test_batched_delivery_matches_per_packet_timeouts(
+        plan, bandwidth, latency, loss, seed, outage):
+    """A lossy, outage-prone link delivers identically under batching.
+
+    The lane must preserve per-direction FIFO order and every arrival
+    instant, and the byte accounting must balance — under random
+    packet mixes, random loss, and a mid-run outage that drops
+    in-flight packets.
+    """
+    def run(pooling):
+        sim = Simulator(pooling=pooling)
+        arrived = []
+        link = Link(sim, "a", "b", bandwidth_bps=bandwidth,
+                    latency=latency, loss_rate=loss,
+                    rng=random.Random(seed),
+                    deliver=lambda d: arrived.append((sim.now, d.payload,
+                                                      d.size)))
+        if outage is not None:
+            link.outage(after=outage[0], duration=outage[1])
+
+        def sender():
+            for index, (size, gap) in enumerate(plan):
+                if gap:
+                    yield sim.sleep(gap)
+                link.send(Datagram(src="a", src_port=1, dst="b",
+                                   dst_port=2, payload=index, size=size))
+
+        sim.process(sender(), name="sender")
+        sim.run()
+        stats = link.forward.stats
+        return arrived, {
+            "packets": (stats.packets_sent, stats.packets_delivered,
+                        stats.packets_lost, stats.packets_dropped_down),
+            "bytes": (stats.bytes_sent, stats.bytes_delivered,
+                      stats.bytes_lost, stats.bytes_dropped_down),
+            "in_flight": link.forward.bytes_in_flight,
+        }
+
+    pooled_log, pooled_stats = run("on")
+    oracle_log, oracle_stats = run("off")
+    assert pooled_log == oracle_log
+    assert pooled_stats == oracle_stats
+
+    # FIFO: delivered packet indices are a strictly increasing
+    # subsequence of the send order.
+    indices = [payload for _, payload, _ in pooled_log]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+
+    # Byte conservation at quiescence: everything sent was delivered,
+    # lost, or dropped — nothing lingers in a lane deque.
+    sent, delivered, lost, dropped = pooled_stats["bytes"]
+    assert delivered + lost + dropped == sent
+    assert pooled_stats["in_flight"] == 0
+    assert delivered == sum(size for _, _, size in pooled_log)

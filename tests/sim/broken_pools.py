@@ -1,0 +1,98 @@
+"""Deliberately broken object pools: proof the pooling axis bites.
+
+The queue-kind twin of ``broken_queues.py``: a verification harness is
+only trustworthy if it demonstrably fails on defective inputs.  These
+pooling kinds each violate the pool contract in one realistic way;
+``test_differential.py`` asserts the differential harness pinpoints
+both at the exact first diverging dispatch.
+
+* :class:`StaleWakeupPool` plants the classic use-after-recycle bug —
+  a stale-callback leak through a recycled event.  Its lane caches its
+  first wakeup object and re-pushes *the same object* on every re-arm,
+  "saving" the per-arm allocation.  But the kernel recycled that
+  wakeup the moment it dispatched, and the recycle reset took the
+  registered ``_fire`` callback with it: every re-armed wakeup
+  dispatches as a blank event, no packet after the burst head is ever
+  delivered, and the lane never arms for the next arrival.  The
+  honest pool is immune by construction (every arm takes a fresh
+  free-list object and re-registers its callback); the differential
+  harness catches the defect as a dispatch stream that simply ends
+  early — at the exact index of the first missing delivery wakeup.
+
+* :class:`ReorderingBatchPool` plants a batched-delivery ordering bug
+  — the lane pops its burst LIFO instead of FIFO.  The armed wakeup's
+  ``(when, seq)`` belongs to the burst head, but the packet handed to
+  the receiver is the tail; the re-arm then re-pushes the *head's*
+  already-used entry where the next arrival's should be.  The
+  dispatch stream itself diverges (a duplicated ``(when, seq)``
+  replacing the next arrival's entry), so the harness catches it even
+  before any receiver acts on the misordered payload.
+"""
+
+from repro.sim.events import NORMAL
+from repro.sim.pool import DeliveryLane, EventPool, register_pooling
+
+
+class StaleLane(DeliveryLane):
+    """Delivery lane that re-pushes its recycled first wakeup."""
+
+    __slots__ = ("_wakeup",)
+
+    def __init__(self, pool, deliver):
+        super().__init__(pool, deliver)
+        self._wakeup = None
+
+    def _arm(self):
+        due, seq, _item = self._pending[0]
+        self._armed = True
+        wakeup = self._wakeup
+        if wakeup is None:
+            wakeup = self._wakeup = self.pool.timeout_at(due, seq)
+            wakeup.callbacks.append(self._fire)
+            return
+        # The planted bug: the cached wakeup was recycled after its
+        # dispatch, so its _fire registration is gone — this entry
+        # will dispatch as a blank event and deliver nothing.
+        sim = self.sim
+        sim._push((due, NORMAL, seq, wakeup))
+
+
+class StaleWakeupPool(EventPool):
+    """Pool whose lanes hold a stale reference to a recycled wakeup."""
+
+    kind = "broken-stale"
+
+    __slots__ = ()
+
+    def delivery_lane(self, deliver):
+        return StaleLane(self, deliver)
+
+
+class LifoLane(DeliveryLane):
+    """Delivery lane that pops its burst from the wrong end."""
+
+    __slots__ = ()
+
+    def _fire(self, _event):
+        _due, _seq, item = self._pending.pop()      # the planted bug
+        self._armed = False
+        self.deliver(item)
+        if self._pending and not self._armed:
+            self._arm()
+
+
+class ReorderingBatchPool(EventPool):
+    """Pool whose lanes deliver bursts LIFO."""
+
+    kind = "broken-batch"
+
+    __slots__ = ()
+
+    def delivery_lane(self, deliver):
+        return LifoLane(self, deliver)
+
+
+def register_broken_pools():
+    """Make the planted-bug kinds buildable by name via make_pool."""
+    register_pooling(StaleWakeupPool.kind, StaleWakeupPool)
+    register_pooling(ReorderingBatchPool.kind, ReorderingBatchPool)

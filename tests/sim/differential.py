@@ -23,15 +23,28 @@ Scenario specs are the ``repro.analysis.divergence`` syntax
 (``obs:<name>``, ``faults:<name>``, ``mod:<module>:<function>``) plus
 ``perf:<name>`` for the catalogued macro-scenarios, or a bare callable
 taking ``observatory=``.  Usable as a script for the CI
-``queue-differential`` smoke job::
+``queue-differential`` and ``pool-differential`` smoke jobs::
 
     PYTHONPATH=src python tests/sim/differential.py \
         --scenario obs:trickle --scenario perf:fleet-32 \
         --queue heap --queue calendar --digest
 
+    PYTHONPATH=src python tests/sim/differential.py \
+        --scenario obs:trickle --queue calendar \
+        --pooling off --pooling on
+
 ``--digest`` streams each dispatch line into a sha256 instead of
 keeping it (fleet-scale runs dispatch millions of events); divergence
 is still detected, just without the surrounding context lines.
+
+``--pooling`` (repeatable) extends the comparison to the object-pool
+axis (:mod:`repro.sim.pool`): the grid becomes every ``kind/mode``
+cell, compared pairwise against the first cell.  Pooling is
+schedule-identical *by construction* — pooled primitives draw their
+sequence numbers at the same program points as the unpooled
+allocations, and the batched link lane pins each wakeup to the exact
+absolute due time the unpooled per-packet timeout would use — so both
+tiers compare full lines with no canonicalisation, ties included.
 """
 
 import hashlib
@@ -45,10 +58,29 @@ from repro.analysis.divergence import (
     resolve_scenario,
 )
 from repro.sim import kernel
+from repro.sim.pool import use_pooling
 from repro.sim.queue import use_kind
 
 DEFAULT_KINDS = ("heap", "calendar")
 DEFAULT_TIERS = ("dispatch", "timeline")
+#: The pooling grid the CI pool-differential job sweeps; ``None`` in
+#: diff_scenario means "session default only" (the pre-pooling axis
+#: behaviour, plain kind labels).
+DEFAULT_POOLINGS = ("off", "on")
+
+
+class _keep_pooling:
+    """No-op stand-in for ``use_pooling`` when no mode is forced."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+def _pooling_ctx(pooling):
+    return _keep_pooling() if pooling is None else use_pooling(pooling)
 
 
 def resolve(spec):
@@ -116,19 +148,25 @@ class DispatchProbe:
         return [self._hash.hexdigest()], self.count
 
 
-def capture_dispatches(spec, kind, digest=False):
-    """Dispatch-tier witness of ``spec`` under queue ``kind``."""
+def capture_dispatches(spec, kind, digest=False, pooling=None):
+    """Dispatch-tier witness of ``spec`` under ``kind`` × ``pooling``.
+
+    ``pooling`` None leaves the session default in place; otherwise it
+    names a registered pooling kind (including the planted-bug pools
+    of ``broken_pools.py``).
+    """
     run = resolve(spec)
-    with use_kind(kind), DispatchProbe(digest=digest) as probe:
+    with use_kind(kind), _pooling_ctx(pooling), \
+            DispatchProbe(digest=digest) as probe:
         run(observatory=None)
     return probe.witness()
 
 
-def capture_obs_timeline(spec, kind):
-    """Timeline-tier witness (fast-path run) under queue ``kind``."""
+def capture_obs_timeline(spec, kind, pooling=None):
+    """Timeline-tier witness (fast-path run) under ``kind`` × ``pooling``."""
     from repro.obs import Observatory
     run = resolve(spec)
-    with use_kind(kind):
+    with use_kind(kind), _pooling_ctx(pooling):
         observatory = Observatory()
         run(observatory=observatory)
         events = [dict(event.to_row())
@@ -189,27 +227,38 @@ def _compare(scenario, kinds, tier, a, b, context):
 
 
 def diff_scenario(spec, kinds=DEFAULT_KINDS, tiers=DEFAULT_TIERS,
-                  context=3, digest=False):
-    """Run ``spec`` under each kind; compare per tier.
+                  context=3, digest=False, poolings=None):
+    """Run ``spec`` under each kind × pooling cell; compare per tier.
 
     Returns a list of :class:`DifferentialReport`, one per tier, each
-    comparing ``kinds[0]`` (the reference) against every other kind
-    pairwise — stopping a tier at its first diverging kind.
+    comparing the first cell (the reference) against every other cell
+    pairwise — stopping a tier at its first diverging cell.
+
+    ``poolings`` None compares queue kinds under the session-default
+    pooling, with plain kind labels (the original behaviour).  A tuple
+    of pooling kinds widens the comparison to the full grid, with
+    cells labelled ``kind/mode`` (e.g. ``calendar/on``).
     """
+    if poolings is None:
+        cells = [(kind, None, kind) for kind in kinds]
+    else:
+        cells = [(kind, pooling, "%s/%s" % (kind, pooling))
+                 for kind in kinds for pooling in poolings]
     reports = []
     for tier in tiers:
         if tier == "dispatch":
-            capture = lambda kind: capture_dispatches(  # noqa: E731
-                spec, kind, digest=digest)
+            capture = lambda kind, pooling: capture_dispatches(  # noqa: E731
+                spec, kind, digest=digest, pooling=pooling)
         elif tier == "timeline":
-            capture = lambda kind: capture_obs_timeline(  # noqa: E731
-                spec, kind)
+            capture = lambda kind, pooling: capture_obs_timeline(  # noqa: E731
+                spec, kind, pooling=pooling)
         else:
             raise ValueError("unknown tier %r" % (tier,))
-        reference = capture(kinds[0])
-        for kind in kinds[1:]:
-            report = _compare(spec, (kinds[0], kind), tier, reference,
-                              capture(kind), context)
+        ref_kind, ref_pooling, ref_label = cells[0]
+        reference = capture(ref_kind, ref_pooling)
+        for kind, pooling, label in cells[1:]:
+            report = _compare(spec, (ref_label, label), tier, reference,
+                              capture(kind, pooling), context)
             reports.append(report)
             if not report.identical:
                 break
@@ -229,6 +278,11 @@ def main(argv=None):
     parser.add_argument("--queue", action="append", default=None,
                         help="queue kinds to compare, first is the "
                              "reference (default: heap calendar)")
+    parser.add_argument("--pooling", action="append", default=None,
+                        help="pooling kinds (repro.sim.pool) to sweep; "
+                             "repeatable, widening the comparison to "
+                             "the kind x pooling grid (default: the "
+                             "session default mode only)")
     parser.add_argument("--tier", action="append", default=None,
                         choices=("dispatch", "timeline"),
                         help="witness tiers to run (default: both)")
@@ -241,11 +295,13 @@ def main(argv=None):
     scenarios = args.scenario or ["obs:trickle"]
     kinds = tuple(args.queue or DEFAULT_KINDS)
     tiers = tuple(args.tier or DEFAULT_TIERS)
+    poolings = tuple(args.pooling) if args.pooling else None
     failed = False
     for spec in scenarios:
         for report in diff_scenario(spec, kinds=kinds, tiers=tiers,
                                     context=args.context,
-                                    digest=args.digest):
+                                    digest=args.digest,
+                                    poolings=poolings):
             if args.json:
                 print(json.dumps({
                     "scenario": report.scenario,

@@ -7,10 +7,12 @@ the harness names the divergence — at event index zero, with context
 from both runs.
 """
 
+from tests.sim.broken_pools import register_broken_pools
 from tests.sim.broken_queues import register_broken_kinds
-from tests.sim.differential import diff_scenario, main
+from tests.sim.differential import DEFAULT_POOLINGS, diff_scenario, main
 
 register_broken_kinds()
+register_broken_pools()
 
 
 # ---------------------------------------------------------------------------
@@ -36,6 +38,30 @@ def twins(observatory=None):
 
     sim.process(worker(), name="a")
     sim.process(worker(), name="b")
+    sim.run()
+
+
+def burst(observatory=None):
+    """Three packets in flight on one link direction at once.
+
+    1000-byte packets at 8000 bps serialize in a second each, so the
+    whole burst is airborne before the first arrival: a 3-deep
+    delivery-lane queue, the smallest scenario where both planted lane
+    bugs (``broken_pools.py``) must change the dispatch stream.
+    """
+    from repro.net.link import Link
+    from repro.net.packet import Datagram
+    from repro.sim import Simulator
+    sim = Simulator()
+    link = Link(sim, "a", "b", bandwidth_bps=8000, latency=0.05)
+
+    def sender():
+        for index in range(3):
+            link.send(Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                               payload={"index": index}, size=1000))
+        yield sim.sleep(0.0)
+
+    sim.process(sender(), name="sender")
     sim.run()
 
 
@@ -69,6 +95,25 @@ def test_callable_scenarios_run_under_both_kinds():
     for report in diff_scenario(staircase, tiers=("dispatch",)):
         assert report.identical, report.format()
     for report in diff_scenario(twins, tiers=("dispatch",)):
+        assert report.identical, report.format()
+
+
+def test_pooling_grid_agrees_on_trickle():
+    """The full kind × pooling grid, both tiers, full-line compares —
+    pooling must be schedule-identical down to every sequence number."""
+    reports = diff_scenario("obs:trickle", poolings=DEFAULT_POOLINGS)
+    # 2 kinds × 2 poolings = 4 cells → 3 comparisons per tier.
+    assert len(reports) == 6
+    for report in reports:
+        assert report.identical, report.format()
+        assert report.events_a > 0
+    labels = {kind for report in reports for kind in report.kinds}
+    assert labels == {"heap/off", "heap/on", "calendar/off", "calendar/on"}
+
+
+def test_pooling_grid_agrees_on_burst_traffic():
+    for report in diff_scenario(burst, poolings=DEFAULT_POOLINGS,
+                                tiers=("dispatch",)):
         assert report.identical, report.format()
 
 
@@ -106,6 +151,47 @@ def test_broken_kind_divergence_is_caught_in_digest_mode():
     assert not report.identical
 
 
+def test_stale_wakeup_pool_is_caught():
+    """Bug A: the lane re-pushes its recycled wakeup, whose _fire
+    callback died in the recycle reset.  Deliveries silently stop, so
+    the broken dispatch stream ends exactly where the third arrival's
+    wakeup should have been — event 5."""
+    (report,) = diff_scenario(burst, kinds=("calendar",),
+                              poolings=("off", "broken-stale"),
+                              tiers=("dispatch",))
+    assert not report.identical
+    assert report.first_divergence == 5
+    assert report.events_a == 6 and report.events_b == 5
+    assert report.kinds == ("calendar/off", "calendar/broken-stale")
+    assert "DIVERGENCE at event 5" in report.format()
+    # Same scenario, honest pool: blessed.  The bug, not the scenario,
+    # is what the harness is reacting to.
+    (clean,) = diff_scenario(burst, kinds=("calendar",),
+                             poolings=("off", "on"), tiers=("dispatch",))
+    assert clean.identical
+
+
+def test_reordering_batch_pool_is_caught():
+    """Bug B: LIFO lane pops deliver the burst tail at the head's
+    instant and re-push the head's already-used (when, seq) — the
+    second delivery wakeup (event 4) is the first diverging line."""
+    (report,) = diff_scenario(burst, kinds=("calendar",),
+                              poolings=("off", "broken-batch"),
+                              tiers=("dispatch",))
+    assert not report.identical
+    assert report.first_divergence == 4
+    assert report.events_a == report.events_b == 6
+    assert report.context_a and report.context_b
+    assert "DIVERGENCE at event 4" in report.format()
+
+
+def test_broken_pool_divergence_is_caught_in_digest_mode():
+    (report,) = diff_scenario(burst, kinds=("calendar",),
+                              poolings=("off", "broken-batch"),
+                              tiers=("dispatch",), digest=True)
+    assert not report.identical
+
+
 # ---------------------------------------------------------------------------
 # Script entry point (what the CI smoke job runs)
 
@@ -122,3 +208,14 @@ def test_main_flags_broken_kind(capsys):
     assert code == 1
     out = capsys.readouterr().out
     assert '"identical": false' in out
+
+
+def test_main_sweeps_the_pooling_grid(capsys):
+    """The CLI shape the CI pool-differential smoke job invokes."""
+    code = main(["--scenario", "obs:trickle", "--tier", "dispatch",
+                 "--queue", "calendar", "--pooling", "off",
+                 "--pooling", "on"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "byte-identical" in out
+    assert "calendar/off vs calendar/on" in out

@@ -1,0 +1,373 @@
+"""Unit coverage for the object pool: lifecycle, registry, hard errors.
+
+The differential harness and golden digests prove pooling is
+schedule-identical; these tests pin the pool's *own* contract — full
+reset on recycle, generation counters, the ``StaleObjectError`` wall
+around recycled objects, free-list caps, registry/env mirroring, and
+the obs gauge publication.
+"""
+
+import os
+
+import pytest
+
+from repro.net.packet import Datagram
+from repro.sim import Simulator, StaleObjectError
+from repro.sim.events import Event, Timeout, _RECYCLED
+from repro.sim.pool import (
+    FREE_LIST_CAP,
+    EventPool,
+    default_pooling,
+    make_pool,
+    register_pooling,
+    set_default_pooling,
+    use_pooling,
+    POOL_KINDS,
+)
+from repro.sim.resources import Lock
+
+
+def pooled_sim():
+    sim = Simulator(pooling="on")
+    assert sim._pool is not None
+    return sim
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: recycle-on-dispatch, full reset, generation counters
+
+
+def test_sleep_timeout_is_recycled_after_dispatch():
+    sim = pooled_sim()
+    pool = sim._pool
+
+    def sleeper():
+        yield sim.sleep(1.0)
+        yield sim.sleep(1.0)
+        yield sim.sleep(1.0)
+
+    sim.process(sleeper(), name="sleeper")
+    sim.run()
+    stats = pool.stats()
+    # The second sleep is allocated while the first is mid-dispatch
+    # (its recycle happens after the callback runs), so two fresh
+    # allocs; the third sleep draws the first one back off the free
+    # list.
+    assert stats["timeout_allocs"] == 2
+    assert stats["timeout_reuses"] >= 1
+    assert stats["free_timeouts"] == 2
+
+
+def test_recycled_object_is_fully_reset():
+    sim = pooled_sim()
+    pool = sim._pool
+    timeout = pool.sleep(0.5)
+    generation = timeout._gen
+    sim.run()
+    assert timeout._value is _RECYCLED
+    assert timeout.callbacks == []
+    assert timeout._ok is None
+    assert not timeout._processed
+    assert not timeout._recycle
+    assert timeout._gen == generation + 1
+
+
+def test_stub_reuse_draws_from_the_free_list():
+    sim = pooled_sim()
+    seen = []
+    sim._call_soon(seen.append, "a")
+    sim.run()
+    first_free = len(sim._pool._free_events)
+    sim._call_soon(seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b"]
+    stats = sim._pool.stats()
+    assert first_free == 1
+    assert stats["event_reuses"] >= 1
+
+
+def test_live_objects_are_never_on_the_free_list():
+    sim = pooled_sim()
+    pool = sim._pool
+    pending = [pool.sleep(float(i)) for i in range(5)]
+    assert pool.stats()["free_timeouts"] == 0
+    assert all(t._value is not _RECYCLED for t in pending)
+
+
+# ---------------------------------------------------------------------------
+# Stale references are hard errors
+
+
+def test_succeed_on_recycled_event_raises():
+    sim = pooled_sim()
+    timeout = sim._pool.sleep(0.0)
+    sim.run()
+    with pytest.raises(StaleObjectError):
+        timeout.succeed()
+
+
+def test_fail_subscribe_value_on_recycled_event_raise():
+    sim = pooled_sim()
+    timeout = sim._pool.sleep(0.0)
+    sim.run()
+    with pytest.raises(StaleObjectError):
+        timeout.fail(RuntimeError("late"))
+    with pytest.raises(StaleObjectError):
+        timeout.subscribe(lambda event: None)
+    with pytest.raises(StaleObjectError):
+        timeout.value
+
+
+def test_process_yielding_a_recycled_event_fails_loudly():
+    sim = pooled_sim()
+    stale = sim._pool.sleep(0.0)
+    sim.run()                      # dispatches and recycles it
+
+    def holder():
+        yield stale                # use-after-recycle
+
+    proc = sim.process(holder(), name="holder")
+    proc.defuse()
+    sim.run()
+    assert not proc.ok
+    assert isinstance(proc._value, StaleObjectError)
+
+
+def test_repr_of_recycled_event_says_so():
+    sim = pooled_sim()
+    timeout = sim._pool.sleep(0.0)
+    sim.run()
+    assert "recycled" in repr(timeout)
+
+
+# ---------------------------------------------------------------------------
+# Pooled lock acquire events
+
+
+def test_pooled_lock_recycles_acquire_events():
+    sim = pooled_sim()
+    lock = Lock(sim, pooled=True)
+    order = []
+
+    def worker(name):
+        yield lock.acquire()
+        order.append(name)
+        yield sim.sleep(1.0)
+        lock.release()
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(name), name=name)
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim._pool.stats()["event_reuses"] >= 1
+
+
+def test_default_lock_events_stay_unpooled():
+    sim = pooled_sim()
+    lock = Lock(sim)
+    event = lock.acquire()
+    sim.run()
+    # Un-pooled acquire events survive dispatch: still inspectable.
+    assert event.triggered
+
+
+# ---------------------------------------------------------------------------
+# Datagram pooling
+
+
+def test_direct_datagrams_are_never_recycled():
+    sim = pooled_sim()
+    dgram = Datagram(src="a", src_port=1, dst="b", dst_port=2,
+                     payload={"n": 1}, size=100)
+    sim._pool.recycle_datagram(dgram)
+    assert dgram.payload == {"n": 1}        # untouched
+    assert sim._pool.stats()["free_datagrams"] == 0
+
+
+def test_pooled_datagram_reuse_bumps_gen_and_ident():
+    sim = pooled_sim()
+    pool = sim._pool
+    first = pool.datagram("a", 1, "b", 2, {"n": 1}, 100)
+    assert first.pooled
+    ident, generation = first.ident, first.gen
+    pool.recycle_datagram(first)
+    assert first.payload is None
+    second = pool.datagram("c", 3, "d", 4, {"n": 2}, 200)
+    assert second is first                  # free-list reuse
+    assert second.gen == generation + 1
+    assert second.ident > ident             # fresh ident every life
+
+
+def test_datagram_size_must_be_positive():
+    sim = pooled_sim()
+    with pytest.raises(ValueError):
+        sim._pool.datagram("a", 1, "b", 2, {}, 0)
+
+
+def test_negative_sleep_raises():
+    sim = pooled_sim()
+    with pytest.raises(ValueError):
+        sim.sleep(-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Free-list cap
+
+
+def test_free_list_cap_drops_overflow_to_gc():
+    sim = pooled_sim()
+    pool = sim._pool
+    # More live timeouts than the cap: the recycle wave fills the free
+    # list to the brim and GCs the rest.
+    for _ in range(FREE_LIST_CAP + 200):
+        pool.sleep(0.0)
+    sim.run()
+    stats = pool.stats()
+    assert stats["free_timeouts"] == FREE_LIST_CAP
+    assert stats["dropped"] >= 200
+
+
+def test_foreign_event_classes_are_dropped_not_mixed():
+    sim = pooled_sim()
+    pool = sim._pool
+
+    def worker():
+        yield sim.sleep(0.0)
+
+    proc = sim.process(worker(), name="w")
+    sim.run()
+    before = pool.stats()
+    proc._recycle = True        # a Process must never enter a free list
+    pool.recycle(proc)
+    after = pool.stats()
+    assert after["free_events"] == before["free_events"]
+    assert after["dropped"] == before["dropped"] + 1
+
+
+# ---------------------------------------------------------------------------
+# run(until=event) interaction
+
+
+def test_run_until_event_is_not_recycled():
+    sim = pooled_sim()
+
+    def worker():
+        yield sim.sleep(2.0)
+        return "done"
+
+    proc = sim.process(worker(), name="w")
+    stop = sim._pool.sleep(1.0)
+    sim.run(until=stop)
+    assert sim.now == 1.0
+    assert stop._value is not _RECYCLED
+    sim.run()
+    assert proc.value == "done"
+
+
+# ---------------------------------------------------------------------------
+# Registry, defaults, env mirroring
+
+
+def test_default_pooling_round_trip():
+    previous = set_default_pooling("off")
+    try:
+        assert default_pooling() == "off"
+        assert os.environ["REPRO_POOL"] == "off"
+        sim = Simulator()
+        assert sim._pool is None
+    finally:
+        set_default_pooling(previous)
+    assert default_pooling() == previous
+    assert os.environ["REPRO_POOL"] == previous
+
+
+def test_use_pooling_restores_on_exit():
+    before = default_pooling()
+    with use_pooling("off"):
+        assert default_pooling() == "off"
+    assert default_pooling() == before
+
+
+def test_set_default_pooling_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        set_default_pooling("turbo")
+
+
+def test_make_pool_resolves_kinds_and_factories():
+    sim = Simulator(pooling="off")
+    assert make_pool("off", sim) is None
+    assert isinstance(make_pool("on", sim), EventPool)
+    assert isinstance(make_pool(EventPool, sim), EventPool)
+    with pytest.raises(ValueError):
+        make_pool("turbo", sim)
+
+
+def test_register_pooling_adds_a_kind():
+    class TinyPool(EventPool):
+        kind = "tiny-test"
+
+    register_pooling("tiny-test", TinyPool)
+    try:
+        sim = Simulator(pooling="tiny-test")
+        assert isinstance(sim._pool, TinyPool)
+    finally:
+        del POOL_KINDS["tiny-test"]
+
+
+def test_simulator_pooling_kwarg_overrides_default():
+    with use_pooling("on"):
+        assert Simulator(pooling="off")._pool is None
+    with use_pooling("off"):
+        assert isinstance(Simulator(pooling="on")._pool, EventPool)
+
+
+# ---------------------------------------------------------------------------
+# Stats and obs gauges
+
+
+def test_stats_keys_are_stable():
+    sim = pooled_sim()
+    assert set(sim._pool.stats()) == {
+        "event_allocs", "event_reuses", "timeout_allocs",
+        "timeout_reuses", "datagram_allocs", "datagram_reuses",
+        "recycled", "dropped", "free_events", "free_timeouts",
+        "free_datagrams",
+    }
+
+
+def test_pool_gauges_published_to_obs():
+    from repro.obs import Observatory
+    sim = Simulator(pooling="on")
+    observatory = Observatory(sim=sim)
+
+    def sleeper():
+        yield sim.sleep(1.0)
+
+    sim.process(sleeper(), name="s")
+    sim.run()
+    gauges = {inst.name: inst.value
+              for inst in observatory.metrics.instruments()
+              if inst.name.startswith("pool.")}
+    assert gauges.get("pool.timeout_allocs", 0) >= 1
+    assert "pool.recycled" in gauges
+
+
+def test_delivery_lane_len_tracks_the_pending_burst():
+    sim = pooled_sim()
+    delivered = []
+    lane = sim._pool.delivery_lane(delivered.append)
+    for n in range(3):
+        lane.schedule(float(n + 1), "pkt-%d" % n)
+    assert len(lane) == 3
+    sim.run()
+    assert len(lane) == 0
+    assert delivered == ["pkt-0", "pkt-1", "pkt-2"]
+
+
+def test_take_event_and_timeout_classes_stay_separate():
+    sim = pooled_sim()
+    pool = sim._pool
+    event = pool._take_event()
+    timeout = pool._take_timeout()
+    assert type(event) is Event
+    assert type(timeout) is Timeout
